@@ -1,0 +1,58 @@
+"""Shared benchmark helpers.
+
+Every benchmark reports two kinds of numbers:
+
+* the **simulated** metrics (files/s, KB/s, recovery seconds) that
+  reproduce the paper's tables and figures — printed straight to the
+  terminal, bypassing pytest's capture, and attached to the
+  pytest-benchmark JSON as ``extra_info``;
+* the **wall-clock** cost of running the simulation itself, which is
+  what pytest-benchmark times.
+
+Scale: by default the workloads are sized to finish the whole benchmark
+suite in a few minutes.  Set ``REPRO_PAPER_SCALE=1`` to run the paper's
+full parameters (10,000 files, a 100 MB large-file test, a 300 MB disk).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "") not in ("", "0")
+
+_capture_manager = None
+
+
+def pytest_configure(config):
+    global _capture_manager
+    _capture_manager = config.pluginmanager.getplugin("capturemanager")
+
+
+def emit(text: str) -> None:
+    """Print a results table to the real terminal, bypassing capture.
+
+    pytest captures at the file-descriptor level by default, so even
+    ``sys.__stdout__`` writes would be swallowed; suspending the capture
+    manager routes the table to the real stdout (and through any shell
+    redirection or ``tee``).
+    """
+    if _capture_manager is not None:
+        with _capture_manager.global_and_fixture_disabled():
+            sys.stdout.write("\n" + text + "\n")
+            sys.stdout.flush()
+    else:
+        sys.__stdout__.write("\n" + text + "\n")
+        sys.__stdout__.flush()
+
+
+@pytest.fixture
+def paper_scale() -> bool:
+    return PAPER_SCALE
+
+
+def once(benchmark, fn):
+    """Run a simulation exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""ABL-RAID — §2.1: arrays raise bandwidth, not access time.
+
+Paper claim: "the bandwidth and throughput of disk subsystems can be
+substantially increased by the use of arrays of disks such as RAIDs,
+[but] the access time for small disk accesses is not substantially
+improved".  LFS's segment-sized transfers stripe across every spindle
+and scale; the FFS baseline's small synchronous metadata writes still
+wait for one head, so extra spindles barely help its small-file rate.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis.report import Table
+from repro.harness import ablation_disk_array
+
+DISK_COUNTS = (1, 2, 4)
+
+
+def test_disk_array(benchmark):
+    points = once(benchmark, lambda: ablation_disk_array(DISK_COUNTS))
+
+    table = Table(
+        ["system", "disks", "create files/s", "seq write KB/s"],
+        title="Disk-array ablation (§2.1: bandwidth scales, latency doesn't)",
+    )
+    by_key = {}
+    for point in points:
+        by_key[(point.kind, point.num_disks)] = point
+        table.row(
+            point.kind.upper(),
+            point.num_disks,
+            point.create_files_per_second,
+            point.seq_write_kb_per_second,
+        )
+    emit(table.render())
+
+    for point in points:
+        benchmark.extra_info[
+            f"{point.kind}_{point.num_disks}d_kbps"
+        ] = round(point.seq_write_kb_per_second)
+
+    # LFS sequential write bandwidth scales with spindle count...
+    lfs_scaling = (
+        by_key[("lfs", 4)].seq_write_kb_per_second
+        / by_key[("lfs", 1)].seq_write_kb_per_second
+    )
+    assert lfs_scaling > 2.0
+    # ...while FFS's synchronous small-file creation barely improves.
+    ffs_create_scaling = (
+        by_key[("ffs", 4)].create_files_per_second
+        / by_key[("ffs", 1)].create_files_per_second
+    )
+    assert ffs_create_scaling < 1.5
+    # And on every array size LFS wins the create benchmark outright.
+    for count in DISK_COUNTS:
+        assert (
+            by_key[("lfs", count)].create_files_per_second
+            > 3 * by_key[("ffs", count)].create_files_per_second
+        )

@@ -1,0 +1,66 @@
+"""AGING — the long-run question the paper leaves open.
+
+Conclusion (§6): "the real test of a file system is its performance
+over months and years of use ... It is from these workloads that the
+overheads due to cleaning can be evaluated."  This benchmark ages an
+LFS through many epochs of office/engineering churn and checks that the
+cleaning overhead finds a bounded steady state rather than growing
+without limit.
+"""
+
+from benchmarks.conftest import PAPER_SCALE, emit, once
+from repro.analysis.report import Table
+from repro.analysis.aging import run_aging_study
+from repro.harness import new_rig
+from repro.lfs.config import LfsConfig
+from repro.units import KIB, MIB
+
+EPOCHS = 12 if PAPER_SCALE else 8
+OPS_PER_EPOCH = 3000 if PAPER_SCALE else 1200
+
+
+def test_aging(benchmark):
+    def run():
+        config = LfsConfig(segment_size=512 * KIB, cache_bytes=6 * MIB)
+        rig = new_rig("lfs", total_bytes=64 * MIB, lfs_config=config)
+        return run_aging_study(
+            rig.fs,
+            epochs=EPOCHS,
+            operations_per_epoch=OPS_PER_EPOCH,
+            target_population=400,
+        )
+
+    study = once(benchmark, run)
+
+    table = Table(
+        ["epoch", "write cost", "cleaner frac", "clean segs",
+         "live frac", "ops/s"],
+        title="Aging study: office churn, epoch by epoch",
+    )
+    for sample in study.samples:
+        table.row(
+            sample.epoch,
+            sample.write_cost,
+            sample.cleaner_write_fraction,
+            sample.clean_segments,
+            sample.live_fraction,
+            sample.ops_per_second,
+        )
+    emit(table.render())
+    last = study.samples[-1]
+    emit(
+        "final segment-utilization histogram (deciles 0-9): "
+        + " ".join(str(count) for count in last.utilization_histogram)
+    )
+
+    benchmark.extra_info["steady_write_cost"] = round(
+        study.steady_state_write_cost(), 3
+    )
+
+    # Cleaning overhead is bounded: write cost settles well below the
+    # catastrophic regime (2/(1-u) at u=0.8 would be 10).
+    assert study.steady_state_write_cost() < 4.0
+    # And it does settle: the last epochs agree within tolerance.
+    assert study.converged(tail=3, tolerance=0.25)
+    # The system stays live: clean segments never exhausted.
+    assert all(sample.clean_segments > 0 for sample in study.samples)

@@ -1,0 +1,62 @@
+"""FIG5 — segment cleaning rate vs segment utilization.
+
+Paper claim (§5.3, Figure 5): the rate at which clean segments can be
+generated falls as the utilization of the cleaned segments rises;
+segments with no live blocks are free to clean; highly utilized
+segments yield almost no space.  This sweep reproduces the paper's
+methodology exactly (create 1 KB files, delete a fixed fraction, clean)
+and prints the analytic model value next to each measured point.
+"""
+
+from benchmarks.conftest import PAPER_SCALE, emit, once
+from repro.analysis.report import Table
+from repro.harness import fig5_cleaning_rate
+from repro.lfs.config import LfsConfig
+from repro.units import MIB
+
+UTILIZATIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9)
+DISK = 300 * MIB if PAPER_SCALE else 128 * MIB
+FILL = 48 if PAPER_SCALE else 16
+
+
+def test_fig5(benchmark):
+    points = once(
+        benchmark,
+        lambda: fig5_cleaning_rate(
+            UTILIZATIONS, total_bytes=DISK, fill_segments=FILL
+        ),
+    )
+    segment_size = LfsConfig().segment_size
+
+    table = Table(
+        ["target u", "measured u", "net KB/s", "model KB/s", "gross KB/s",
+         "live copied"],
+        title="Figure 5: cleaning rate vs segment utilization",
+    )
+    rates = []
+    for point, model in points:
+        rate = point.clean_kb_per_second(segment_size)
+        rates.append(rate)
+        table.row(
+            point.target_utilization,
+            point.measured_utilization,
+            rate,
+            model,
+            point.gross_kb_per_second(segment_size),
+            point.live_blocks_copied,
+        )
+    emit(table.render())
+
+    for (point, _model), rate in zip(points, rates):
+        benchmark.extra_info[f"u{point.target_utilization}"] = round(rate, 1)
+
+    # Monotonically decreasing in utilization.
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+    # Cleaning empty segments is essentially free (fast path).
+    assert rates[0] > 5 * rates[1]
+    # Highly utilized segments yield almost nothing.
+    assert rates[-1] < 0.15 * rates[1]
+    # Within sight of the analytic model at mid utilizations.
+    for point, model in points[1:]:
+        measured = point.clean_kb_per_second(segment_size)
+        assert 0.3 * model < measured < 3.0 * model

@@ -1,0 +1,63 @@
+"""REC — crash recovery: LFS checkpoint+roll-forward vs FFS fsck.
+
+Paper claim (§4.4): "LFS never needs to scan the entire file system to
+recover from a crash" — recovery reads the checkpoint regions and the
+log tail, so its time is independent of file system size/contents,
+while fsck scans every inode table block and the whole directory tree.
+"""
+
+from benchmarks.conftest import PAPER_SCALE, emit, once
+from repro.analysis.report import Table
+from repro.harness import recovery_comparison
+from repro.units import MIB
+
+FILE_COUNTS = (200, 1000, 3000) if PAPER_SCALE else (100, 400, 1000)
+DISKS = (
+    (96 * MIB, 192 * MIB, 300 * MIB)
+    if PAPER_SCALE
+    else (48 * MIB, 96 * MIB, 192 * MIB)
+)
+
+
+def test_recovery(benchmark):
+    points = once(
+        benchmark,
+        lambda: recovery_comparison(FILE_COUNTS, disk_sizes=DISKS),
+    )
+
+    table = Table(
+        ["files", "disk MB", "LFS recovery (s)", "log partials replayed",
+         "FFS fsck (s)", "fsck repairs"],
+        title="§4.4: crash recovery time (simulated)",
+    )
+    for point in points:
+        table.row(
+            point.num_files,
+            point.total_bytes // MIB,
+            point.lfs_recovery_seconds,
+            point.lfs_partials_replayed,
+            point.ffs_fsck_seconds,
+            point.ffs_repairs,
+        )
+    emit(table.render())
+
+    for point in points:
+        benchmark.extra_info[f"lfs_{point.num_files}_s"] = round(
+            point.lfs_recovery_seconds, 3
+        )
+        benchmark.extra_info[f"fsck_{point.num_files}_s"] = round(
+            point.ffs_fsck_seconds, 3
+        )
+
+    # LFS recovery is faster everywhere, and the gap widens with the
+    # file system (fsck scans every inode table block and directory;
+    # LFS reads the checkpoint regions plus the log tail)...
+    for point in points:
+        assert point.lfs_recovery_seconds < point.ffs_fsck_seconds
+    assert points[-1].lfs_recovery_seconds < points[-1].ffs_fsck_seconds / 4
+    # ...and essentially flat as the file system grows, while fsck
+    # scales with the amount of metadata it must scan.
+    lfs_growth = points[-1].lfs_recovery_seconds / points[0].lfs_recovery_seconds
+    fsck_growth = points[-1].ffs_fsck_seconds / points[0].ffs_fsck_seconds
+    assert lfs_growth < fsck_growth
+    assert fsck_growth > 1.5

@@ -1,0 +1,56 @@
+"""T31 — §3.1's CPU-scaling observation.
+
+Paper claim: "a .9-MIPS DEC MicroVaxII ... can create and delete an
+empty file in 100 milliseconds.  A 14-MIPS DEC DecStation 3100 using
+the same file system can create and delete an empty file in 80
+milliseconds.  Because of the synchronous disk I/O, an
+order-of-magnitude increase in CPU speeds causes only a 20 percent
+increase in program speed!"  LFS's create/delete latency, by contrast,
+is pure CPU work and scales with the processor.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis.report import Table
+from repro.harness import sec31_cpu_scaling
+
+FACTORS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def test_sec31_cpu_scaling(benchmark):
+    points = once(benchmark, lambda: sec31_cpu_scaling(FACTORS))
+
+    table = Table(
+        ["CPU speed", "LFS ms/op", "FFS ms/op"],
+        title="§3.1: empty-file create+delete latency vs CPU speed",
+    )
+    for point in points:
+        table.row(
+            f"{point.speed_factor:.0f}x",
+            point.lfs_ms_per_create_delete,
+            point.ffs_ms_per_create_delete,
+        )
+    emit(table.render())
+
+    for point in points:
+        benchmark.extra_info[f"lfs_{point.speed_factor:.0f}x_ms"] = round(
+            point.lfs_ms_per_create_delete, 3
+        )
+        benchmark.extra_info[f"ffs_{point.speed_factor:.0f}x_ms"] = round(
+            point.ffs_ms_per_create_delete, 3
+        )
+
+    slowest, fastest = points[0], points[-1]
+    cpu_ratio = fastest.speed_factor / slowest.speed_factor
+    lfs_speedup = (
+        slowest.lfs_ms_per_create_delete / fastest.lfs_ms_per_create_delete
+    )
+    ffs_speedup = (
+        slowest.ffs_ms_per_create_delete / fastest.ffs_ms_per_create_delete
+    )
+    # LFS latency scales nearly linearly with CPU speed...
+    assert lfs_speedup > 0.6 * cpu_ratio
+    # ...while the synchronous FFS barely improves (§3.1's ~20%).
+    assert ffs_speedup < 1.6
+    # And at every speed LFS is faster.
+    for point in points:
+        assert point.lfs_ms_per_create_delete < point.ffs_ms_per_create_delete

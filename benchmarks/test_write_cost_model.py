@@ -1,0 +1,56 @@
+"""MODEL — measured cleaning economics vs the closed-form write cost.
+
+§5.3 argues the cost of cleaning is "directly related to the
+utilization ... of the segments being cleaned".  The closed form is
+``write_cost(u) = 2 / (1 - u)``; this benchmark checks that the
+measured cleaning rate sits near the corresponding analytic rate curve
+and that both blow up together as u -> 1.
+"""
+
+from benchmarks.conftest import PAPER_SCALE, emit, once
+from repro.analysis.report import Table
+from repro.analysis.write_cost import analytic_write_cost
+from repro.harness import write_cost_comparison
+from repro.units import MIB
+
+UTILIZATIONS = (0.2, 0.4, 0.6, 0.8)
+DISK = 300 * MIB if PAPER_SCALE else 128 * MIB
+
+
+def test_write_cost_model(benchmark):
+    points = once(
+        benchmark,
+        lambda: write_cost_comparison(UTILIZATIONS, total_bytes=DISK),
+    )
+
+    table = Table(
+        ["u", "write cost 2/(1-u)", "measured KB/s", "model KB/s"],
+        title="§5.3: cleaning economics, measured vs analytic",
+    )
+    for point in points:
+        table.row(
+            point.utilization,
+            point.analytic_write_cost,
+            point.measured_rate_kb_s,
+            point.model_rate_kb_s,
+        )
+    emit(table.render())
+
+    for point in points:
+        benchmark.extra_info[f"u{point.utilization}_measured"] = round(
+            point.measured_rate_kb_s, 1
+        )
+
+    # Write cost is convex-increasing in u.
+    costs = [point.analytic_write_cost for point in points]
+    assert costs == sorted(costs)
+    assert costs[-1] / costs[0] > 3
+    # Measured rate falls with u and stays within 3x of the model.
+    rates = [point.measured_rate_kb_s for point in points]
+    assert all(a > b for a, b in zip(rates, rates[1:]))
+    for point in points:
+        assert (
+            0.3 * point.model_rate_kb_s
+            < point.measured_rate_kb_s
+            < 3.0 * point.model_rate_kb_s
+        )

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Segment cleaning, visualized: utilization sweep and policy ablation.
+
+Part 1 reruns Figure 5 (cleaning rate vs segment utilization) and draws
+the curve as ASCII, next to the closed-form model.
+
+Part 2 runs the office churn under the three victim-selection policies
+(§4.3.4's greedy, the cost-benefit refinement, and random) and compares
+write cost.
+
+Run with::
+
+    python examples/cleaning_policies.py
+"""
+
+from repro.analysis.report import Table
+from repro.harness import ablation_cleaner_policy, fig5_cleaning_rate
+from repro.lfs.config import LfsConfig
+from repro.units import MIB
+
+UTILIZATIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9)
+
+
+def bar(value: float, maximum: float, width: int = 40) -> str:
+    filled = 0 if maximum <= 0 else int(width * min(1.0, value / maximum))
+    return "#" * filled
+
+
+def main() -> None:
+    print("Figure 5: cleaning rate vs segment utilization "
+          "(KB/s of net clean segments generated)\n")
+    points = fig5_cleaning_rate(
+        UTILIZATIONS, total_bytes=96 * MIB, fill_segments=16
+    )
+    segment_size = LfsConfig().segment_size
+    finite = [
+        p.clean_kb_per_second(segment_size)
+        for p, _ in points
+        if p.clean_kb_per_second(segment_size) != float("inf")
+    ]
+    top = max(finite)
+    for point, model in points:
+        rate = point.clean_kb_per_second(segment_size)
+        shown = min(rate, top)
+        model_text = "inf" if model == float("inf") else f"{model:7.0f}"
+        print(f"  u={point.target_utilization:.1f} "
+              f"{rate:8.0f} KB/s |{bar(shown, top):<40}| "
+              f"model {model_text}")
+    print("\nEmpty segments are free to clean; nearly full ones yield "
+          "almost nothing —\nexactly the paper's curve.\n")
+
+    print("Cleaning-policy ablation (office churn on a small disk):\n")
+    table = Table(
+        ["policy", "write cost", "segments cleaned", "live blocks copied",
+         "ops/s"],
+    )
+    for point in ablation_cleaner_policy():
+        table.row(
+            point.policy,
+            point.write_cost,
+            point.segments_cleaned,
+            point.live_blocks_copied,
+            point.ops_per_second,
+        )
+    print(table.render())
+    print("\nWrite cost = total log bytes written per byte of user data "
+          "(lower is better).\nGreedy — the paper's policy — picks the "
+          "emptiest segments; cost-benefit also\nweighs age, which pays off "
+          "under hot/cold locality.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Crash recovery, side by side: LFS roll-forward vs FFS fsck (§4.4).
+
+Builds the same population of files on both systems, crashes both with
+a little un-checkpointed work outstanding, then recovers: LFS by
+reading its checkpoint region and rolling the log tail forward, FFS by
+running a full fsck scan.
+
+Run with::
+
+    python examples/crash_recovery.py
+"""
+
+from repro.analysis.report import Table
+from repro.ffs.filesystem import FastFileSystem
+from repro.ffs.fsck import fsck
+from repro.harness import new_rig
+from repro.lfs.filesystem import LogStructuredFS
+from repro.units import MIB, fmt_time
+
+NUM_FILES = 800
+DISK = 128 * MIB
+
+
+def main() -> None:
+    payload = b"important data " * 200
+
+    # ----- LFS ------------------------------------------------------
+    rig = new_rig("lfs", total_bytes=DISK)
+    lfs = rig.fs
+    for index in range(NUM_FILES):
+        lfs.write_file(f"/f{index}", payload)
+    lfs.checkpoint()
+    for index in range(40):
+        lfs.write_file(f"/post{index}", payload)
+    lfs.sync()  # reaches the log, but not a checkpoint
+    lfs.crash()
+    lfs.disk.revive()
+    start = rig.clock.now()
+    recovered = LogStructuredFS.mount(rig.disk, rig.cpu)
+    lfs_seconds = rig.clock.now() - start
+    report = recovered.last_recovery
+    survivors = sum(
+        1 for index in range(40) if recovered.exists(f"/post{index}")
+    )
+    print(f"LFS: crash with {NUM_FILES} checkpointed + 40 synced-only files")
+    print(f"  recovery took {fmt_time(lfs_seconds)} simulated "
+          f"({report.partials_applied} log partials replayed, "
+          f"{len(report.segments_visited)} segments visited)")
+    print(f"  all {survivors}/40 post-checkpoint files recovered by "
+          f"roll-forward")
+
+    # ----- FFS ------------------------------------------------------
+    rig = new_rig("ffs", total_bytes=DISK)
+    ffs = rig.fs
+    for index in range(NUM_FILES):
+        ffs.write_file(f"/f{index}", payload)
+    ffs.sync()
+    for index in range(40):
+        ffs.write_file(f"/post{index}", payload)
+    ffs.crash()
+    ffs.disk.revive()
+    fsck_report = fsck(rig.disk)
+    print(f"\nFFS: same population, same crash")
+    print(f"  fsck took {fmt_time(fsck_report.duration_seconds)} simulated: "
+          f"scanned {fsck_report.inodes_scanned} inodes, read "
+          f"{fsck_report.bytes_read // 1024} KB, made "
+          f"{fsck_report.repairs()} repairs")
+
+    ratio = fsck_report.duration_seconds / lfs_seconds
+    print(f"\nLFS recovered {ratio:.0f}x faster — and its recovery time is "
+          f"set by the log tail,\nnot the file system size, so the gap "
+          f"widens as disks grow (§4.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Replay an operation trace against both storage managers.
+
+The paper's conclusion says the real test of LFS is long-term use; the
+standard instrument for that is trace replay.  This example builds a
+compiler-like edit/build/clean trace (sources edited in place, object
+files rewritten wholesale, everything short-lived — §3's
+office/engineering profile) and replays it on LFS and FFS over
+identical simulated hardware.
+
+Run with::
+
+    python examples/trace_replay.py
+"""
+
+from repro.analysis.report import Table
+from repro.harness import new_rig
+from repro.units import MIB, fmt_time
+from repro.workloads.trace_replay import parse_trace, replay
+
+
+def build_trace() -> list:
+    lines = ["mkdir /proj", "mkdir /proj/src", "mkdir /proj/obj"]
+    sources = [f"/proj/src/mod{i}.c" for i in range(25)]
+    for index, src in enumerate(sources):
+        lines.append(f"create {src} {3000 + 200 * index}")
+    # Three edit/build cycles.
+    for cycle in range(3):
+        for index, src in enumerate(sources):
+            if (index + cycle) % 3 == 0:  # edit a third of the sources
+                lines.append(f"write {src} 0 {2500 + 100 * cycle}")
+        for index, src in enumerate(sources):
+            obj = f"/proj/obj/mod{index}.o"
+            if cycle > 0:
+                lines.append(f"unlink {obj}")
+            lines.append(f"create {obj} {8000 + 300 * index}")
+            lines.append(f"read {src}")
+        lines.append("sync")
+    # Clean build products.
+    for index in range(25):
+        lines.append(f"unlink /proj/obj/mod{index}.o")
+    lines.append("sync")
+    return parse_trace(lines)
+
+
+def main() -> None:
+    trace = build_trace()
+    print(f"trace: {len(trace)} operations "
+          "(edit/build/clean cycles, §3's office/engineering profile)\n")
+    table = Table(
+        ["system", "simulated time", "ops/s", "disk requests",
+         "sync requests", "MB to disk"],
+    )
+    results = {}
+    for kind in ("lfs", "ffs"):
+        rig = new_rig(kind, total_bytes=96 * MIB)
+        result = replay(rig.fs, trace)
+        rig.fs.sync()
+        results[kind] = result
+        table.row(
+            kind.upper(),
+            fmt_time(result.elapsed_seconds),
+            result.ops_per_second(),
+            rig.disk.stats.requests,
+            rig.disk.stats.sync_requests,
+            rig.disk.stats.bytes_written / MIB,
+        )
+    print(table.render())
+    speedup = (
+        results["ffs"].elapsed_seconds / results["lfs"].elapsed_seconds
+    )
+    print(f"\nSame trace, same disk: LFS finishes {speedup:.1f}x sooner, "
+          "because every create, delete\nand rewrite in the build cycle "
+          "is a synchronous random write on FFS and a cache\nupdate on LFS.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Small measurement helpers for simulated-time experiments."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import InvalidArgumentError
+from repro.sim.clock import SimClock
+
+
+class PhaseTimer:
+    """Context manager measuring simulated seconds.
+
+    >>> timer = PhaseTimer(clock)
+    >>> with timer:
+    ...     run_phase()
+    >>> timer.elapsed  # simulated seconds the phase took
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self.start: Optional[float] = None
+        self.elapsed: Optional[float] = None
+
+    def __enter__(self) -> "PhaseTimer":
+        self.start = self.clock.now()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self.start is not None
+        self.elapsed = self.clock.now() - self.start
+
+    def rate(self, count: float) -> float:
+        """count/second over the measured phase."""
+        if self.elapsed is None:
+            raise InvalidArgumentError("phase has not finished")
+        if self.elapsed <= 0:
+            return float("inf")
+        return count / self.elapsed
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """How many times faster the improved system is."""
+    if improved_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / improved_seconds

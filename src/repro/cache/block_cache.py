@@ -1,0 +1,243 @@
+"""Block cache with dirty tracking and LRU eviction.
+
+Blocks are keyed by :class:`~repro.common.inode.BlockKey` — (owner inode,
+kind, index) — because in LFS a block has no stable disk address to key
+by: every write relocates it.  The payload is either raw bytes (data and
+directory blocks) or a mutable list of u64 disk addresses (pointer
+blocks), so the :class:`~repro.common.inode.BlockMap` can edit pointer
+blocks in place.
+
+Eviction only ever removes *clean data* blocks: dirty blocks must first
+be written back by the owning file system, and metadata blocks (pointer
+blocks, inode-map blocks) stay resident, matching the paper's assumption
+that "blocks mapping active files will stay memory resident" (§4.2.1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterator, List, Optional, Tuple, Union
+
+from repro.common.inode import BlockKey, BlockKind
+from repro.errors import InvalidArgumentError
+
+Payload = Union[bytearray, List[int]]
+
+
+@dataclass
+class CacheBlock:
+    """One cached block."""
+
+    key: BlockKey
+    payload: Payload
+    dirty: bool = False
+    dirty_since: float = 0.0
+
+    def as_bytes(self, block_size: int) -> bytes:
+        """Serialized block contents, zero-padded to ``block_size``."""
+        if isinstance(self.payload, list):
+            import struct
+
+            return struct.pack(f"<{len(self.payload)}Q", *self.payload)
+        data = bytes(self.payload)
+        if len(data) < block_size:
+            data += b"\x00" * (block_size - len(data))
+        return data
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    writebacks_requested: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class BlockCache:
+    """LRU block cache sized in bytes."""
+
+    def __init__(self, capacity_bytes: int, block_size: int) -> None:
+        if capacity_bytes < block_size:
+            raise InvalidArgumentError(
+                f"cache capacity {capacity_bytes} smaller than one "
+                f"{block_size}-byte block"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.block_size = block_size
+        self._blocks: "OrderedDict[BlockKey, CacheBlock]" = OrderedDict()
+        self._by_inum: dict = {}
+        self._dirty_bytes = 0
+        self._dirty_fifo: Deque[Tuple[BlockKey, float]] = deque()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Lookup / insertion
+    # ------------------------------------------------------------------
+
+    def get(self, key: BlockKey) -> Optional[CacheBlock]:
+        block = self._blocks.get(key)
+        if block is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._blocks.move_to_end(key)
+        return block
+
+    def peek(self, key: BlockKey) -> Optional[CacheBlock]:
+        """Lookup without touching LRU order or hit statistics."""
+        return self._blocks.get(key)
+
+    def contains(self, key: BlockKey) -> bool:
+        return key in self._blocks
+
+    def insert(
+        self, key: BlockKey, payload: Payload, dirty: bool, now: float
+    ) -> CacheBlock:
+        """Insert (or replace) a block; evicts clean data blocks if full."""
+        old = self._blocks.pop(key, None)
+        if old is not None and old.dirty:
+            self._dirty_bytes -= self.block_size
+        block = CacheBlock(key=key, payload=payload, dirty=dirty)
+        self._blocks[key] = block
+        self._by_inum.setdefault(key.inum, set()).add(key)
+        self.stats.insertions += 1
+        if dirty:
+            self._note_dirty(block, now)
+        self._evict_to_capacity()
+        return block
+
+    def mark_dirty(self, key: BlockKey, now: float) -> None:
+        block = self._blocks.get(key)
+        if block is None:
+            raise InvalidArgumentError(f"cannot dirty uncached block {key}")
+        if not block.dirty:
+            self._note_dirty(block, now)
+
+    def _note_dirty(self, block: CacheBlock, now: float) -> None:
+        block.dirty = True
+        block.dirty_since = now
+        self._dirty_bytes += self.block_size
+        self._dirty_fifo.append((block.key, now))
+
+    def mark_clean(self, key: BlockKey) -> None:
+        block = self._blocks.get(key)
+        if block is not None and block.dirty:
+            block.dirty = False
+            self._dirty_bytes -= self.block_size
+
+    def discard(self, key: BlockKey) -> None:
+        """Remove a block outright (e.g. file deleted before write-back)."""
+        block = self._blocks.pop(key, None)
+        if block is not None:
+            self._forget_key(key)
+            if block.dirty:
+                self._dirty_bytes -= self.block_size
+
+    def _forget_key(self, key: BlockKey) -> None:
+        keys = self._by_inum.get(key.inum)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_inum[key.inum]
+
+    def discard_file(self, inum: int) -> int:
+        """Drop every cached block owned by ``inum``; returns count."""
+        victims = list(self._by_inum.get(inum, ()))
+        for key in victims:
+            self.discard(key)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # Dirty tracking
+    # ------------------------------------------------------------------
+
+    @property
+    def dirty_bytes(self) -> int:
+        return self._dirty_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return len(self._blocks) * self.block_size
+
+    def dirty_blocks(self) -> Iterator[CacheBlock]:
+        """All dirty blocks, in LRU (roughly: modification) order."""
+        return (block for block in self._blocks.values() if block.dirty)
+
+    def oldest_dirty_time(self) -> Optional[float]:
+        """When the longest-dirty block became dirty (None if all clean)."""
+        while self._dirty_fifo:
+            key, since = self._dirty_fifo[0]
+            block = self._blocks.get(key)
+            if block is not None and block.dirty and block.dirty_since == since:
+                return since
+            self._dirty_fifo.popleft()
+        return None
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+
+    def _evictable(self, block: CacheBlock) -> bool:
+        # Pointer, inode-map and usage blocks stay resident (§4.2.1);
+        # data and packed-inode blocks are fair game once clean.
+        return not block.dirty and block.key.kind in (
+            BlockKind.DATA,
+            BlockKind.INODE,
+        )
+
+    def _evict_to_capacity(self) -> None:
+        if self.used_bytes <= self.capacity_bytes:
+            return
+        victims = [
+            key for key, block in self._blocks.items() if self._evictable(block)
+        ]
+        for key in victims:
+            if self.used_bytes <= self.capacity_bytes:
+                break
+            del self._blocks[key]
+            self._forget_key(key)
+            self.stats.evictions += 1
+
+    def over_capacity(self) -> bool:
+        """True when even after eviction the cache exceeds capacity.
+
+        This is the "cache full" write-back trigger from §4.3.5: the
+        remaining blocks are dirty and the file system must start a
+        segment write to make them clean (and thus evictable).
+        """
+        return self.used_bytes > self.capacity_bytes
+
+    def drop_clean(self, metadata_too: bool = True) -> int:
+        """Drop every clean block (benchmarks' "flush the file cache").
+
+        Dirty blocks always survive — dropping them would lose data.
+        """
+        victims = [
+            key
+            for key, block in self._blocks.items()
+            if not block.dirty
+            and (metadata_too or block.key.kind is BlockKind.DATA)
+        ]
+        for key in victims:
+            del self._blocks[key]
+            self._forget_key(key)
+        return len(victims)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCache({len(self._blocks)} blocks, "
+            f"dirty={self._dirty_bytes}B/{self.capacity_bytes}B)"
+        )

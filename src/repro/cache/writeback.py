@@ -1,0 +1,91 @@
+"""Write-back triggers.
+
+§4.3.5 of the paper names three conditions that start a segment write:
+
+* **Cache full** — too many dirty blocks in the file cache;
+* **Cache write-back** — dirty blocks older than an age threshold
+  (the implementation used 30 seconds, like UNIX delayed write-back);
+* **Sync request** — an explicit ``sync``/``fsync``.
+
+The first two are decided here; sync is an explicit file system call.
+The same monitor drives the FFS baseline's delayed write-back, which is
+the behaviour the paper attributes to the BSD file system.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.block_cache import BlockCache
+from repro.sim.clock import SimClock
+
+
+class WritebackReason(enum.Enum):
+    CACHE_FULL = "cache-full"
+    AGE = "age"
+    SYNC = "sync"
+    CHECKPOINT = "checkpoint"
+    CLEANER = "cleaner"
+
+
+@dataclass(frozen=True)
+class WritebackConfig:
+    """Tunable write-back policy knobs."""
+
+    age_threshold: float = 30.0
+    """Seconds a block may stay dirty before it is pushed to disk."""
+
+    dirty_high_fraction: float = 0.5
+    """Dirty-bytes fraction of cache capacity that triggers a write."""
+
+    def __post_init__(self) -> None:
+        if self.age_threshold < 0:
+            raise ValueError(f"negative age threshold: {self.age_threshold}")
+        if not 0.0 < self.dirty_high_fraction <= 1.0:
+            raise ValueError(
+                f"dirty_high_fraction must be in (0, 1]: "
+                f"{self.dirty_high_fraction}"
+            )
+
+
+class WritebackMonitor:
+    """Decides when the cache needs a write-back pass."""
+
+    def __init__(
+        self,
+        cache: BlockCache,
+        clock: SimClock,
+        config: Optional[WritebackConfig] = None,
+    ) -> None:
+        self.cache = cache
+        self.clock = clock
+        self.config = config or WritebackConfig()
+        self.triggers: dict = {}
+
+    def _dirty_threshold_bytes(self) -> int:
+        return int(self.cache.capacity_bytes * self.config.dirty_high_fraction)
+
+    def check(self) -> Optional[WritebackReason]:
+        """Reason a write-back should start now, or None."""
+        if (
+            self.cache.dirty_bytes >= self._dirty_threshold_bytes()
+            or self.cache.over_capacity()
+        ):
+            return self._fire(WritebackReason.CACHE_FULL)
+        oldest = self.cache.oldest_dirty_time()
+        if (
+            oldest is not None
+            and self.clock.now() - oldest >= self.config.age_threshold
+        ):
+            return self._fire(WritebackReason.AGE)
+        return None
+
+    def _fire(self, reason: WritebackReason) -> WritebackReason:
+        self.triggers[reason] = self.triggers.get(reason, 0) + 1
+        return reason
+
+    def note_explicit(self, reason: WritebackReason) -> None:
+        """Record an externally initiated write-back (sync, checkpoint)."""
+        self._fire(reason)

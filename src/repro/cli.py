@@ -1,0 +1,314 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Device images are ordinary host files (see
+:meth:`repro.disk.device.SectorDevice.save`), so you can format an
+image, write files into it, crash it, fsck or roll it forward, and
+inspect the raw on-disk structures — a miniature of the workflow the
+paper's systems supported.
+
+Commands::
+
+    mkfs IMAGE --fs {lfs,ffs} --size 64M      format a new image
+    ls IMAGE [PATH]                           list a directory
+    write IMAGE PATH < stdin                  write a file from stdin
+    cat IMAGE PATH                            print a file
+    rm IMAGE PATH                             delete a file
+    mkdir IMAGE PATH                          create a directory
+    inspect IMAGE                             dump on-disk structures
+    fsck IMAGE                                check/repair an FFS image
+    fig {1,3,4,5,scaling,recovery}            run a paper experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.disk.device import SectorDevice
+from repro.disk.geometry import DiskGeometry, wren_iv
+from repro.disk.sim_disk import SimDisk
+from repro.errors import ReproError
+from repro.ffs.filesystem import FastFileSystem
+from repro.ffs.fsck import fsck as run_fsck
+from repro.lfs.filesystem import LogStructuredFS
+from repro.sim.clock import SimClock
+from repro.sim.cpu import CpuModel
+from repro.tools.inspect import describe_image, identify
+from repro.units import KIB, MIB
+
+
+def _parse_size(text: str) -> int:
+    text = text.strip().upper()
+    multiplier = 1
+    if text.endswith("K"):
+        multiplier, text = KIB, text[:-1]
+    elif text.endswith("M"):
+        multiplier, text = MIB, text[:-1]
+    elif text.endswith("G"):
+        multiplier, text = 1024 * MIB, text[:-1]
+    try:
+        return int(text) * multiplier
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad size: {text!r}") from exc
+
+
+def _open_image(path: str):
+    """Load an image and mount whatever file system it holds."""
+    device = SectorDevice.load(path)
+    clock = SimClock()
+    cpu = CpuModel(clock)
+    disk = SimDisk(
+        DiskGeometry(name="image", total_bytes=device.total_bytes),
+        clock,
+        device=device,
+    )
+    kind = identify(device)
+    if kind == "lfs":
+        return LogStructuredFS.mount(disk, cpu), device
+    if kind == "ffs":
+        return FastFileSystem.mount(disk, cpu), device
+    raise ReproError(f"{path!r} holds no recognizable file system")
+
+
+def cmd_mkfs(args) -> int:
+    clock = SimClock()
+    cpu = CpuModel(clock)
+    disk = SimDisk(
+        DiskGeometry(name="image", total_bytes=args.size), clock
+    )
+    if args.fs == "lfs":
+        fs = LogStructuredFS.mkfs(disk, cpu)
+    else:
+        fs = FastFileSystem.mkfs(disk, cpu)
+    fs.unmount()
+    disk.device.save(args.image)
+    print(f"formatted {args.image}: {args.fs} on {args.size} bytes")
+    return 0
+
+
+def cmd_ls(args) -> int:
+    fs, _device = _open_image(args.image)
+    for name in fs.listdir(args.path):
+        stat = fs.stat(f"{args.path.rstrip('/')}/{name}")
+        kind = "d" if stat.is_dir else "-"
+        print(f"{kind} {stat.size:>10}  {name}")
+    return 0
+
+
+def cmd_write(args) -> int:
+    fs, device = _open_image(args.image)
+    data = sys.stdin.buffer.read()
+    fs.write_file(args.path, data)
+    fs.unmount()
+    device.save(args.image)
+    print(f"wrote {len(data)} bytes to {args.path}")
+    return 0
+
+
+def cmd_cat(args) -> int:
+    fs, _device = _open_image(args.image)
+    data = fs.read_file(args.path)
+    buffer = getattr(sys.stdout, "buffer", None)
+    if buffer is not None:
+        buffer.write(data)
+    else:  # stdout replaced by a text stream (tests, pipes)
+        sys.stdout.write(data.decode("utf-8", "replace"))
+    return 0
+
+
+def cmd_rm(args) -> int:
+    fs, device = _open_image(args.image)
+    fs.unlink(args.path)
+    fs.unmount()
+    device.save(args.image)
+    return 0
+
+
+def cmd_mkdir(args) -> int:
+    fs, device = _open_image(args.image)
+    fs.mkdir(args.path)
+    fs.unmount()
+    device.save(args.image)
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    device = SectorDevice.load(args.image)
+    print(describe_image(device))
+    return 0
+
+
+def cmd_fsck(args) -> int:
+    device = SectorDevice.load(args.image)
+    if identify(device) != "ffs":
+        print("fsck only applies to FFS images (LFS recovers at mount)")
+        return 1
+    clock = SimClock()
+    disk = SimDisk(
+        DiskGeometry(name="image", total_bytes=device.total_bytes),
+        clock,
+        device=device,
+    )
+    report = run_fsck(disk)
+    print(
+        f"fsck: {report.inodes_scanned} inodes scanned, "
+        f"{report.repairs()} repairs, "
+        f"{report.duration_seconds:.3f}s simulated"
+    )
+    device.save(args.image)
+    return 0 if report.clean or report.repairs() else 1
+
+
+def cmd_verify(args) -> int:
+    device = SectorDevice.load(args.image)
+    kind = identify(device)
+    if kind == "lfs":
+        from repro.lfs.verify import verify_lfs
+
+        report = verify_lfs(device)
+        print(
+            f"verify: {report.inodes_checked} inodes, "
+            f"{report.blocks_checked} blocks, "
+            f"{report.directories_checked} directories checked"
+        )
+        for error in report.errors:
+            print(f"  INCONSISTENT: {error}")
+        print("clean" if report.consistent else f"{len(report.errors)} errors")
+        return 0 if report.consistent else 1
+    if kind == "ffs":
+        print("use 'fsck' for FFS images")
+        return 1
+    print("unrecognized image")
+    return 1
+
+
+def cmd_fig(args) -> int:
+    from repro.analysis.report import Table
+    from repro.harness import (
+        fig1_fig2_creation_traces,
+        fig3_small_file,
+        fig4_large_file,
+        fig5_cleaning_rate,
+        recovery_comparison,
+        sec31_cpu_scaling,
+    )
+    from repro.lfs.config import LfsConfig
+    from repro.workloads.largefile import PHASES
+
+    which = args.which
+    if which == "1":
+        for kind, trace in fig1_fig2_creation_traces().items():
+            print(f"--- {kind}: {trace.write_requests} writes "
+                  f"({trace.sync_writes} sync) ---")
+            print(trace.table)
+    elif which == "3":
+        results = fig3_small_file(num_files=1000, total_bytes=128 * MIB)
+        table = Table(["system", "create/s", "read/s", "delete/s"])
+        for kind, r in results.items():
+            table.row(kind, r.create_per_second, r.read_per_second,
+                      r.delete_per_second)
+        print(table.render())
+    elif which == "4":
+        results = fig4_large_file(file_bytes=10 * MIB, total_bytes=128 * MIB)
+        table = Table(["phase", "lfs KB/s", "ffs KB/s"])
+        for phase in PHASES:
+            table.row(phase, results["lfs"].kb_per_second(phase),
+                      results["ffs"].kb_per_second(phase))
+        print(table.render())
+    elif which == "5":
+        seg = LfsConfig().segment_size
+        table = Table(["utilization", "KB/s cleaned", "model KB/s"])
+        for point, model in fig5_cleaning_rate(
+            (0.0, 0.2, 0.4, 0.6, 0.8), total_bytes=96 * MIB, fill_segments=12
+        ):
+            table.row(point.target_utilization,
+                      point.clean_kb_per_second(seg), model)
+        print(table.render())
+    elif which == "scaling":
+        table = Table(["cpu", "lfs ms/op", "ffs ms/op"])
+        for point in sec31_cpu_scaling((1.0, 4.0, 16.0), num_files=100):
+            table.row(f"{point.speed_factor:.0f}x",
+                      point.lfs_ms_per_create_delete,
+                      point.ffs_ms_per_create_delete)
+        print(table.render())
+    elif which == "recovery":
+        table = Table(["files", "lfs recovery s", "ffs fsck s"])
+        for point in recovery_comparison((100, 400), total_bytes=96 * MIB):
+            table.row(point.num_files, point.lfs_recovery_seconds,
+                      point.ffs_fsck_seconds)
+        print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LFS Storage Manager reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("mkfs", help="format a new device image")
+    p.add_argument("image")
+    p.add_argument("--fs", choices=("lfs", "ffs"), default="lfs")
+    p.add_argument("--size", type=_parse_size, default=64 * MIB)
+    p.set_defaults(func=cmd_mkfs)
+
+    p = sub.add_parser("ls", help="list a directory")
+    p.add_argument("image")
+    p.add_argument("path", nargs="?", default="/")
+    p.set_defaults(func=cmd_ls)
+
+    p = sub.add_parser("write", help="write stdin to a file in the image")
+    p.add_argument("image")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_write)
+
+    p = sub.add_parser("cat", help="print a file from the image")
+    p.add_argument("image")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_cat)
+
+    p = sub.add_parser("rm", help="remove a file")
+    p.add_argument("image")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_rm)
+
+    p = sub.add_parser("mkdir", help="create a directory")
+    p.add_argument("image")
+    p.add_argument("path")
+    p.set_defaults(func=cmd_mkdir)
+
+    p = sub.add_parser("inspect", help="dump on-disk structures")
+    p.add_argument("image")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("fsck", help="check/repair an FFS image")
+    p.add_argument("image")
+    p.set_defaults(func=cmd_fsck)
+
+    p = sub.add_parser("verify", help="offline consistency check (LFS)")
+    p.add_argument("image")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("fig", help="run a paper experiment (reduced scale)")
+    p.add_argument(
+        "which", choices=("1", "3", "4", "5", "scaling", "recovery")
+    )
+    p.set_defaults(func=cmd_fig)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

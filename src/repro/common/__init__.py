@@ -1,0 +1,32 @@
+"""On-disk structures shared by LFS and the FFS baseline.
+
+The paper stresses (§4.2) that LFS keeps the *same* inode, indirect-block
+and directory formats as the UNIX file system — only their placement
+differs.  We enforce that by making both file systems use the codecs in
+this package.
+"""
+
+from repro.common.inode import (
+    BlockKey,
+    BlockKind,
+    FileType,
+    Inode,
+    INODE_SIZE,
+    NIL,
+    pointers_per_block,
+)
+from repro.common.directory import DirectoryBlock, MAX_NAME_LEN
+from repro.common.serialization import checksum
+
+__all__ = [
+    "BlockKey",
+    "BlockKind",
+    "FileType",
+    "Inode",
+    "INODE_SIZE",
+    "NIL",
+    "pointers_per_block",
+    "DirectoryBlock",
+    "MAX_NAME_LEN",
+    "checksum",
+]

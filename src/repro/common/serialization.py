@@ -1,0 +1,133 @@
+"""Binary packing helpers for on-disk structures.
+
+Everything a file system in this library persists goes through these
+helpers, so that a mounted file system can be reconstructed from device
+bytes alone (the crash-recovery tests depend on this).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator
+
+from repro.errors import CorruptionError
+
+
+def checksum(data: bytes) -> int:
+    """32-bit checksum used by summary blocks and checkpoint regions."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def pad_block(data: bytes, block_size: int) -> bytes:
+    """Zero-pad ``data`` up to ``block_size`` bytes."""
+    if len(data) > block_size:
+        raise ValueError(
+            f"data of {len(data)} bytes does not fit a {block_size}-byte block"
+        )
+    return data + b"\x00" * (block_size - len(data))
+
+
+class Packer:
+    """Appends fixed-width fields and length-prefixed strings."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "Packer":
+        self._parts.append(struct.pack("<B", value))
+        return self
+
+    def u16(self, value: int) -> "Packer":
+        self._parts.append(struct.pack("<H", value))
+        return self
+
+    def u32(self, value: int) -> "Packer":
+        self._parts.append(struct.pack("<I", value))
+        return self
+
+    def u64(self, value: int) -> "Packer":
+        self._parts.append(struct.pack("<Q", value))
+        return self
+
+    def f64(self, value: float) -> "Packer":
+        self._parts.append(struct.pack("<d", value))
+        return self
+
+    def raw(self, data: bytes) -> "Packer":
+        self._parts.append(data)
+        return self
+
+    def string(self, text: str) -> "Packer":
+        encoded = text.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise ValueError(f"string too long to serialize: {len(encoded)} bytes")
+        self.u16(len(encoded))
+        self._parts.append(encoded)
+        return self
+
+    def bytes(self) -> bytes:
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self._parts)
+
+
+class Unpacker:
+    """Reads fields written by :class:`Packer`, validating bounds."""
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self._data = data
+        self._offset = offset
+
+    def _take(self, size: int) -> bytes:
+        if self._offset + size > len(self._data):
+            raise CorruptionError(
+                f"truncated structure: wanted {size} bytes at offset "
+                f"{self._offset}, have {len(self._data)}"
+            )
+        chunk = self._data[self._offset : self._offset + size]
+        self._offset += size
+        return chunk
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self._take(1))[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self._take(8))[0]
+
+    def raw(self, size: int) -> bytes:
+        return self._take(size)
+
+    def string(self) -> str:
+        length = self.u16()
+        return self._take(length).decode("utf-8")
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def remaining(self) -> int:
+        return len(self._data) - self._offset
+
+
+def iter_u64(data: bytes) -> Iterator[int]:
+    """Iterate a packed array of little-endian u64 values."""
+    if len(data) % 8:
+        raise CorruptionError(f"u64 array length {len(data)} not a multiple of 8")
+    for (value,) in struct.iter_unpack("<Q", data):
+        yield value
+
+
+def pack_u64_array(values: list[int]) -> bytes:
+    """Pack ``values`` as a little-endian u64 array."""
+    return struct.pack(f"<{len(values)}Q", *values)

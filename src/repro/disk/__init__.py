@@ -1,0 +1,35 @@
+"""Simulated disk substrate.
+
+The paper's evaluation hardware was a WREN IV SCSI disk (1.3 MB/s maximum
+transfer bandwidth, 17.5 ms average seek).  This package provides a
+sector-addressed device with explicit data durability semantics
+(:mod:`repro.disk.device`), a disk service-time model parameterized by a
+:class:`~repro.disk.geometry.DiskGeometry` (:mod:`repro.disk.sim_disk`),
+cumulative statistics (:mod:`repro.disk.stats`) and per-request trace
+capture used to regenerate the paper's Figures 1 and 2
+(:mod:`repro.disk.trace`).
+"""
+
+from repro.disk.device import SectorDevice
+from repro.disk.geometry import (
+    DiskGeometry,
+    FAST_1990S_DISK,
+    NULL_TIMING,
+    WREN_IV,
+)
+from repro.disk.sim_disk import SimDisk
+from repro.disk.stats import DiskStats
+from repro.disk.trace import AccessTier, TraceEvent, TraceRecorder
+
+__all__ = [
+    "SectorDevice",
+    "DiskGeometry",
+    "WREN_IV",
+    "FAST_1990S_DISK",
+    "NULL_TIMING",
+    "SimDisk",
+    "DiskStats",
+    "AccessTier",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,154 @@
+"""The raw sector device and its crash semantics.
+
+A :class:`SectorDevice` is a flat array of sectors.  Reads always observe
+the most recently written data (a real disk serves reads from its own
+queue), but a write only becomes *durable* at its completion time, which
+the timing layer (:class:`repro.disk.sim_disk.SimDisk`) supplies.  When
+the device crashes, every write whose completion time is after the crash
+instant is rolled back, so the surviving image is exactly what a real
+power failure would leave given the simulated I/O schedule.
+
+This is the mechanism behind all crash-recovery experiments: LFS loses at
+most the writes since its last checkpoint, while the FFS baseline can be
+left with inconsistent metadata that fsck must repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import DeviceCrashedError, OutOfRangeError
+from repro.units import SECTOR_SIZE
+
+
+@dataclass
+class _PendingWrite:
+    """Undo record for a write that is not yet durable."""
+
+    completion_time: float
+    sector: int
+    old_data: bytes
+
+
+class SectorDevice:
+    """A crash-aware array of fixed-size sectors."""
+
+    def __init__(self, num_sectors: int, sector_size: int = SECTOR_SIZE) -> None:
+        if num_sectors <= 0:
+            raise ValueError(f"device needs at least one sector: {num_sectors}")
+        if sector_size <= 0:
+            raise ValueError(f"sector size must be positive: {sector_size}")
+        self.num_sectors = num_sectors
+        self.sector_size = sector_size
+        self._data = bytearray(num_sectors * sector_size)
+        self._pending: List[_PendingWrite] = []
+        self._crashed = False
+        self.total_sectors_written = 0
+        self.total_sectors_read = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_sectors * self.sector_size
+
+    def _check_range(self, sector: int, count: int) -> None:
+        if self._crashed:
+            raise DeviceCrashedError("device has crashed; call revive() first")
+        if count <= 0:
+            raise OutOfRangeError(f"transfer must cover at least one sector: {count}")
+        if sector < 0 or sector + count > self.num_sectors:
+            raise OutOfRangeError(
+                f"sectors [{sector}, {sector + count}) outside device of "
+                f"{self.num_sectors} sectors"
+            )
+
+    def read(self, sector: int, count: int) -> bytes:
+        """Read ``count`` sectors starting at ``sector``."""
+        self._check_range(sector, count)
+        self.total_sectors_read += count
+        start = sector * self.sector_size
+        return bytes(self._data[start : start + count * self.sector_size])
+
+    def write(self, sector: int, data: bytes, completion_time: float = 0.0) -> None:
+        """Write ``data`` (a whole number of sectors) at ``sector``.
+
+        The new contents are immediately visible to reads but only durable
+        once the simulated clock passes ``completion_time``; see
+        :meth:`crash`.
+        """
+        if len(data) % self.sector_size:
+            raise OutOfRangeError(
+                f"write of {len(data)} bytes is not sector-aligned "
+                f"(sector size {self.sector_size})"
+            )
+        count = len(data) // self.sector_size
+        self._check_range(sector, count)
+        self.total_sectors_written += count
+        start = sector * self.sector_size
+        self._pending.append(
+            _PendingWrite(
+                completion_time=completion_time,
+                sector=sector,
+                old_data=bytes(self._data[start : start + len(data)]),
+            )
+        )
+        self._data[start : start + len(data)] = data
+
+    def mark_durable(self, now: float) -> None:
+        """Forget undo records for writes completed at or before ``now``."""
+        self._pending = [p for p in self._pending if p.completion_time > now]
+
+    def pending_writes(self) -> int:
+        """Number of writes that are visible but not yet durable."""
+        return len(self._pending)
+
+    def crash(self, now: float) -> None:
+        """Simulate a power failure at time ``now``.
+
+        Writes whose completion time is after ``now`` are rolled back in
+        reverse order, restoring the exact durable image.  The device then
+        refuses I/O until :meth:`revive` is called.
+        """
+        self.mark_durable(now)
+        for pending in reversed(self._pending):
+            start = pending.sector * self.sector_size
+            self._data[start : start + len(pending.old_data)] = pending.old_data
+        self._pending.clear()
+        self._crashed = True
+
+    def revive(self) -> None:
+        """Bring a crashed device back online (contents unchanged)."""
+        self._crashed = False
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def snapshot(self) -> bytes:
+        """A copy of the current (possibly non-durable) device image."""
+        return bytes(self._data)
+
+    def save(self, path: str) -> None:
+        """Persist the device image to a host file."""
+        with open(path, "wb") as handle:
+            handle.write(self._data)
+
+    @classmethod
+    def load(cls, path: str, sector_size: int = SECTOR_SIZE) -> "SectorDevice":
+        """Recreate a device from a host file written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            data = handle.read()
+        if not data or len(data) % sector_size:
+            raise OutOfRangeError(
+                f"image {path!r} is {len(data)} bytes: not a whole number "
+                f"of {sector_size}-byte sectors"
+            )
+        device = cls(len(data) // sector_size, sector_size)
+        device._data = bytearray(data)
+        return device
+
+    def __repr__(self) -> str:
+        return (
+            f"SectorDevice({self.num_sectors} x {self.sector_size}B, "
+            f"pending={len(self._pending)}, crashed={self._crashed})"
+        )

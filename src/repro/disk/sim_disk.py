@@ -1,0 +1,193 @@
+"""The disk timing layer.
+
+A :class:`SimDisk` wraps a :class:`~repro.disk.device.SectorDevice` and a
+:class:`~repro.sim.clock.SimClock` and assigns every request a service
+time from the :class:`~repro.disk.geometry.DiskGeometry` model.  Requests
+are serviced in FIFO order on a single *busy-until* timeline:
+
+* a **synchronous** request advances the caller's clock to the request's
+  completion time — this is how the BSD baseline's synchronous metadata
+  writes stall the simulated application, reproducing §3.1;
+* an **asynchronous** request only extends the busy timeline — the caller
+  keeps running, which is how LFS decouples application speed from disk
+  speed (§4.1).
+
+``drain()`` waits for the timeline (used by ``sync``), and ``crash()``
+tells the device which queued writes had not yet completed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.disk.device import SectorDevice
+from repro.disk.geometry import DiskGeometry
+from repro.disk.stats import DiskStats
+from repro.disk.trace import AccessTier, TraceEvent, TraceRecorder
+from repro.errors import OutOfRangeError
+from repro.sim.clock import SimClock
+
+
+class SimDisk:
+    """A timed disk: FIFO service, three-tier positioning model."""
+
+    def __init__(
+        self,
+        geometry: DiskGeometry,
+        clock: SimClock,
+        device: Optional[SectorDevice] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.clock = clock
+        self.device = device or SectorDevice(
+            geometry.num_sectors, geometry.sector_size
+        )
+        if self.device.sector_size != geometry.sector_size:
+            raise ValueError(
+                f"device sector size {self.device.sector_size} does not "
+                f"match geometry sector size {geometry.sector_size}"
+            )
+        if self.device.num_sectors < geometry.num_sectors:
+            raise ValueError(
+                f"device has {self.device.num_sectors} sectors, geometry "
+                f"needs {geometry.num_sectors}"
+            )
+        self.trace = trace
+        self.stats = DiskStats()
+        self._head_pos = 0
+        self._busy_until = 0.0
+
+    # ------------------------------------------------------------------
+    # Timing model
+    # ------------------------------------------------------------------
+
+    def _classify(self, sector: int) -> AccessTier:
+        distance = abs(sector - self._head_pos)
+        if distance == 0:
+            return AccessTier.SEQUENTIAL
+        if distance <= self.geometry.near_distance:
+            return AccessTier.NEAR
+        return AccessTier.FAR
+
+    def service_time(self, sector: int, nbytes: int) -> Tuple[float, AccessTier]:
+        """Service time of a request at the current head position."""
+        tier = self._classify(sector)
+        if tier is AccessTier.SEQUENTIAL:
+            positioning = self.geometry.request_gap
+        elif tier is AccessTier.NEAR:
+            positioning = self.geometry.track_seek + self.geometry.rotation / 2.0
+        else:
+            positioning = self.geometry.avg_seek + self.geometry.rotation / 2.0
+        return positioning + self.geometry.transfer_time(nbytes), tier
+
+    def _schedule(self, sector: int, nbytes: int) -> Tuple[float, float, AccessTier]:
+        """Place a request on the busy timeline; returns (start, done, tier)."""
+        duration, tier = self.service_time(sector, nbytes)
+        start = max(self.clock.now(), self._busy_until)
+        done = start + duration
+        self._busy_until = done
+        self._head_pos = sector + (nbytes + self.geometry.sector_size - 1) // (
+            self.geometry.sector_size
+        )
+        return start, done, tier
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def read(self, sector: int, count: int, label: str = "") -> bytes:
+        """Synchronously read ``count`` sectors (reads always block)."""
+        issue = self.clock.now()
+        start, done, tier = self._schedule(sector, count * self.geometry.sector_size)
+        data = self.device.read(sector, count)
+        self.stats.record(False, len(data), True, tier.value, done - start)
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(
+                    issue_time=issue,
+                    complete_time=done,
+                    is_write=False,
+                    sector=sector,
+                    nsectors=count,
+                    nbytes=len(data),
+                    sync=True,
+                    tier=tier,
+                    label=label,
+                )
+            )
+        self.clock.advance_to(done)
+        self.device.mark_durable(self.clock.now())
+        return data
+
+    def write(
+        self, sector: int, data: bytes, sync: bool = False, label: str = ""
+    ) -> float:
+        """Write ``data`` at ``sector``; returns the completion time.
+
+        With ``sync=True`` the caller's clock is advanced to the completion
+        time (the request blocks); otherwise the request merely occupies
+        the disk and becomes durable when the clock passes its completion.
+        """
+        if not data:
+            raise OutOfRangeError("cannot write zero bytes")
+        issue = self.clock.now()
+        start, done, tier = self._schedule(sector, len(data))
+        self.device.write(sector, data, completion_time=done)
+        self.stats.record(True, len(data), sync, tier.value, done - start)
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(
+                    issue_time=issue,
+                    complete_time=done,
+                    is_write=True,
+                    sector=sector,
+                    nsectors=len(data) // self.geometry.sector_size,
+                    nbytes=len(data),
+                    sync=sync,
+                    tier=tier,
+                    label=label,
+                )
+            )
+        if sync:
+            self.clock.advance_to(done)
+        self.device.mark_durable(self.clock.now())
+        return done
+
+    def drain(self) -> None:
+        """Block (advance the clock) until all queued requests complete."""
+        self.clock.advance_to(self._busy_until)
+        self.device.mark_durable(self.clock.now())
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the disk becomes idle."""
+        return self._busy_until
+
+    @property
+    def idle(self) -> bool:
+        return self._busy_until <= self.clock.now()
+
+    def queue_delay(self) -> float:
+        """How far the busy timeline extends past the current clock."""
+        return max(0.0, self._busy_until - self.clock.now())
+
+    # ------------------------------------------------------------------
+    # Crash handling
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power-fail now: in-flight writes are lost, head state reset."""
+        self.device.crash(self.clock.now())
+        self._busy_until = self.clock.now()
+        self._head_pos = 0
+
+    def revive(self) -> None:
+        """Bring the disk back after a crash (contents preserved)."""
+        self.device.revive()
+
+    def __repr__(self) -> str:
+        return (
+            f"SimDisk({self.geometry.name}, head={self._head_pos}, "
+            f"busy_until={self._busy_until:.6f})"
+        )

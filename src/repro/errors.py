@@ -1,0 +1,84 @@
+"""Exception hierarchy for the LFS reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also catching programming errors
+(``TypeError`` and friends propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DiskError(ReproError):
+    """Base class for errors raised by the simulated disk layer."""
+
+
+class OutOfRangeError(DiskError):
+    """A sector address or length fell outside the device."""
+
+
+class DeviceCrashedError(DiskError):
+    """I/O was attempted on a device that has crashed and not been revived."""
+
+
+class FileSystemError(ReproError):
+    """Base class for file-system level errors."""
+
+
+class NoSpaceError(FileSystemError):
+    """The file system ran out of usable disk space (ENOSPC)."""
+
+
+class NoInodesError(NoSpaceError):
+    """The file system ran out of inodes."""
+
+
+class FileNotFoundError_(FileSystemError):
+    """A path component did not resolve (ENOENT).
+
+    Named with a trailing underscore to avoid shadowing the builtin; exported
+    from the package as ``FsFileNotFoundError``.
+    """
+
+
+class FileExistsError_(FileSystemError):
+    """The target of a create already exists (EEXIST)."""
+
+
+class NotADirectoryError_(FileSystemError):
+    """A non-final path component resolved to a regular file (ENOTDIR)."""
+
+
+class IsADirectoryError_(FileSystemError):
+    """A file operation was attempted on a directory (EISDIR)."""
+
+
+class DirectoryNotEmptyError(FileSystemError):
+    """rmdir on a directory that still has entries (ENOTEMPTY)."""
+
+
+class InvalidArgumentError(FileSystemError):
+    """A caller-supplied argument was invalid (EINVAL)."""
+
+
+class StaleHandleError(FileSystemError):
+    """An operation used a handle whose file was deleted or FS unmounted."""
+
+
+class CorruptionError(FileSystemError):
+    """On-disk state failed validation (bad magic, checksum, or pointer)."""
+
+
+class CheckpointError(CorruptionError):
+    """No valid checkpoint region could be loaded at mount time."""
+
+
+class CleanerError(FileSystemError):
+    """The segment cleaner entered an impossible state."""
+
+
+class FsckError(FileSystemError):
+    """fsck found damage it could not repair."""

@@ -1,0 +1,21 @@
+"""The BSD fast file system baseline (SunOS 4.0.3's file system).
+
+This is the comparison target of the paper's evaluation (§5): an
+update-in-place file system with cylinder groups, fixed inode tables,
+*synchronous* inode and directory writes on create/delete (§3.1,
+Figure 1), delayed write-back of file data, and a whole-disk fsck scan
+after a crash.
+"""
+
+from repro.ffs.config import FfsConfig, FfsLayout
+from repro.ffs.filesystem import FastFileSystem, make_ffs
+from repro.ffs.fsck import FsckReport, fsck
+
+__all__ = [
+    "FfsConfig",
+    "FfsLayout",
+    "FastFileSystem",
+    "make_ffs",
+    "fsck",
+    "FsckReport",
+]

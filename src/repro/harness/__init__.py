@@ -1,0 +1,33 @@
+"""Experiment harness: one entry point per paper figure/table."""
+
+from repro.harness.experiments import (
+    CreationTrace,
+    Rig,
+    ablation_cleaner_policy,
+    ablation_disk_array,
+    ablation_segment_size,
+    fig1_fig2_creation_traces,
+    fig3_small_file,
+    fig4_large_file,
+    fig5_cleaning_rate,
+    new_rig,
+    recovery_comparison,
+    sec31_cpu_scaling,
+    write_cost_comparison,
+)
+
+__all__ = [
+    "Rig",
+    "new_rig",
+    "CreationTrace",
+    "fig1_fig2_creation_traces",
+    "fig3_small_file",
+    "fig4_large_file",
+    "fig5_cleaning_rate",
+    "sec31_cpu_scaling",
+    "recovery_comparison",
+    "ablation_segment_size",
+    "ablation_cleaner_policy",
+    "ablation_disk_array",
+    "write_cost_comparison",
+]

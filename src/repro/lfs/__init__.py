@@ -1,0 +1,32 @@
+"""LFS — the log-structured storage manager (the paper's contribution).
+
+The public entry points are :func:`repro.lfs.filesystem.make_lfs` (format
+a fresh file system) and :meth:`repro.lfs.filesystem.LogStructuredFS.mount`
+(attach an existing one, recovering from a crash if needed).
+"""
+
+from repro.lfs.config import LfsConfig, LfsLayout
+from repro.lfs.cleaner import CleanerPolicy, CleanerStats, SegmentCleaner
+from repro.lfs.filesystem import LogStructuredFS, make_lfs
+from repro.lfs.inode_map import ImapEntry, InodeMap
+from repro.lfs.segment_usage import SegmentState, SegmentUsage
+from repro.lfs.summary import SegmentSummary, SummaryEntry
+from repro.lfs.verify import VerifyReport, verify_lfs
+
+__all__ = [
+    "LfsConfig",
+    "LfsLayout",
+    "LogStructuredFS",
+    "make_lfs",
+    "InodeMap",
+    "ImapEntry",
+    "SegmentUsage",
+    "SegmentState",
+    "SegmentCleaner",
+    "CleanerPolicy",
+    "CleanerStats",
+    "SegmentSummary",
+    "SummaryEntry",
+    "verify_lfs",
+    "VerifyReport",
+]

@@ -1,0 +1,147 @@
+"""Checkpoint regions (§4.4.1).
+
+A checkpoint captures the dynamic file system state — the log tail
+position and the current addresses of every inode-map and segment-usage
+block — at an instant when everything those addresses point at is safely
+on disk.  Two fixed regions alternate so that a crash *during* a
+checkpoint write leaves the previous checkpoint intact; the timestamp
+picks the most recent valid region at mount time.
+
+The checkpoint write is the only synchronous write LFS ever performs,
+and it happens once per checkpoint interval (30 s), not per operation —
+the contrast with the FFS baseline's per-create synchronous writes is
+the point of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.serialization import Packer, Unpacker, checksum
+from repro.disk.sim_disk import SimDisk
+from repro.errors import CheckpointError, CorruptionError
+from repro.lfs.config import CHECKPOINT_MAGIC, CHECKPOINT_REGION_BLOCKS, LfsLayout
+from repro.lfs.segments import LogPosition
+from repro.sim.clock import SimClock
+
+
+@dataclass
+class CheckpointData:
+    """Everything a checkpoint region stores."""
+
+    timestamp: float
+    position: LogPosition
+    imap_addrs: List[int] = field(default_factory=list)
+    usage_addrs: List[int] = field(default_factory=list)
+
+    def pack(self, region_bytes: int) -> bytes:
+        body = (
+            Packer()
+            .f64(self.timestamp)
+            .u64(self.position.sequence)
+            .u32(self.position.active_segment)
+            .u32(self.position.active_offset)
+            .u32(self.position.next_segment)
+            .u32(len(self.imap_addrs))
+            .u32(len(self.usage_addrs))
+        )
+        for addr in self.imap_addrs:
+            body.u64(addr)
+        for addr in self.usage_addrs:
+            body.u64(addr)
+        body_bytes = body.bytes()
+        if len(body_bytes) + 8 > region_bytes:
+            raise CorruptionError(
+                f"checkpoint needs {len(body_bytes) + 8} bytes, region "
+                f"holds {region_bytes}"
+            )
+        padded_body = body_bytes + b"\x00" * (region_bytes - 8 - len(body_bytes))
+        header = Packer().u32(CHECKPOINT_MAGIC).u32(checksum(padded_body))
+        return header.bytes() + padded_body
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "CheckpointData":
+        unpacker = Unpacker(data)
+        magic = unpacker.u32()
+        if magic != CHECKPOINT_MAGIC:
+            raise CorruptionError(f"bad checkpoint magic 0x{magic:08x}")
+        crc = unpacker.u32()
+        if checksum(data[unpacker.offset :]) != crc:
+            raise CorruptionError("checkpoint checksum mismatch")
+        timestamp = unpacker.f64()
+        sequence = unpacker.u64()
+        active_segment = unpacker.u32()
+        active_offset = unpacker.u32()
+        next_segment = unpacker.u32()
+        n_imap = unpacker.u32()
+        n_usage = unpacker.u32()
+        imap_addrs = [unpacker.u64() for _ in range(n_imap)]
+        usage_addrs = [unpacker.u64() for _ in range(n_usage)]
+        return cls(
+            timestamp=timestamp,
+            position=LogPosition(
+                active_segment=active_segment,
+                active_offset=active_offset,
+                next_segment=next_segment,
+                sequence=sequence,
+            ),
+            imap_addrs=imap_addrs,
+            usage_addrs=usage_addrs,
+        )
+
+
+class CheckpointManager:
+    """Alternating writes to the two fixed checkpoint regions."""
+
+    def __init__(
+        self, layout: LfsLayout, disk: SimDisk, clock: SimClock
+    ) -> None:
+        self.layout = layout
+        self.disk = disk
+        self.clock = clock
+        self._next_region = 0
+        self.checkpoints_written = 0
+        self.last_checkpoint_time: Optional[float] = None
+
+    @property
+    def region_bytes(self) -> int:
+        return CHECKPOINT_REGION_BLOCKS * self.layout.config.block_size
+
+    def _region_sector(self, region: int) -> int:
+        addr = self.layout.checkpoint_addrs[region]
+        return addr * self.layout.config.sectors_per_block
+
+    def write(self, data: CheckpointData) -> None:
+        """Synchronously write a checkpoint to the next region."""
+        packed = data.pack(self.region_bytes)
+        self.disk.write(
+            self._region_sector(self._next_region),
+            packed,
+            sync=True,
+            label=f"checkpoint region {self._next_region}",
+        )
+        self._next_region = 1 - self._next_region
+        self.checkpoints_written += 1
+        self.last_checkpoint_time = data.timestamp
+
+    def load_latest(self) -> Tuple[CheckpointData, int]:
+        """Read both regions; return (newest valid checkpoint, its region)."""
+        candidates: List[Tuple[CheckpointData, int]] = []
+        sectors = CHECKPOINT_REGION_BLOCKS * self.layout.config.sectors_per_block
+        for region in (0, 1):
+            raw = self.disk.read(
+                self._region_sector(region),
+                sectors,
+                label=f"checkpoint region {region}",
+            )
+            try:
+                candidates.append((CheckpointData.unpack(raw), region))
+            except CorruptionError:
+                continue
+        if not candidates:
+            raise CheckpointError("no valid checkpoint region found")
+        best, region = max(candidates, key=lambda pair: pair[0].timestamp)
+        self._next_region = 1 - region
+        self.last_checkpoint_time = best.timestamp
+        return best, region

@@ -1,0 +1,353 @@
+"""The segment cleaner (§4.3.2–§4.3.4).
+
+Cleaning turns fragmented segments back into clean ones: read the
+victims into memory, decide which blocks are still live, re-dirty the
+live blocks in the file cache, and let the ordinary segment writer copy
+them to the log tail ("LFS implements cleaning by reading the live
+blocks of a segment into the file cache and then using the cache
+write-back code to combine and copy the blocks into a new segment").
+
+Liveness (§4.3.3) is decided exactly as the paper describes:
+
+1. the summary entry's version number is compared with the file's
+   current version in the inode map — a mismatch means the file was
+   deleted or truncated, so the block is dead;
+2. otherwise the inode (and any indirect blocks) are consulted: the
+   block is live iff the file's pointer for that logical block still
+   names this disk address.
+
+Victim selection (§4.3.4) supports the paper's policy (greedy: most free
+space first) plus two for the ablation benchmarks: cost-benefit
+(the refinement Rosenblum's follow-up work develops, scoring segments by
+``(1 - u) * age / (1 + u)``) and random.
+
+Every cleaning pass ends with a checkpoint: cleaned segments are only
+reusable once the relocated metadata that references them is itself
+durable.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from repro.common.inode import BlockKey, BlockKind, Inode, INODE_SIZE, NIL
+from repro.errors import CorruptionError
+from repro.lfs.segment_usage import SegmentState
+from repro.lfs.summary import SegmentSummary, SummaryEntry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lfs.filesystem import LogStructuredFS
+
+
+class CleanerPolicy(str, enum.Enum):
+    GREEDY = "greedy"
+    COST_BENEFIT = "cost-benefit"
+    RANDOM = "random"
+
+
+@dataclass
+class CleanerStats:
+    passes: int = 0
+    segments_cleaned: int = 0
+    live_blocks_copied: int = 0
+    dead_blocks_dropped: int = 0
+    bytes_read: int = 0
+    live_bytes_copied: int = 0
+    empty_segments_skipped: int = 0
+    emergency_passes: int = 0
+    busy_seconds: float = 0.0
+
+
+class SegmentCleaner:
+    """Reads fragmented segments and relocates their live blocks."""
+
+    def __init__(
+        self,
+        fs: "LogStructuredFS",
+        policy: CleanerPolicy = CleanerPolicy.GREEDY,
+        victims_per_pass: int = 4,
+    ) -> None:
+        self.fs = fs
+        self.policy = policy
+        self.victims_per_pass = victims_per_pass
+        self.stats = CleanerStats()
+        self._rng = random.Random(0x5EC5)
+
+    # ------------------------------------------------------------------
+    # Victim selection (§4.3.4)
+    # ------------------------------------------------------------------
+
+    def select_victims(
+        self,
+        count: int,
+        written_before: float | None = None,
+        max_utilization: float | None = None,
+    ) -> List[int]:
+        usage = self.fs.usage
+        config = self.fs.config
+        if max_utilization is None:
+            max_utilization = config.max_live_fraction_to_clean
+        candidates = [
+            seg
+            for seg in usage.dirty_segments()
+            if usage.utilization(seg) <= max_utilization
+            and (
+                written_before is None
+                or usage.info(seg).last_write < written_before
+            )
+        ]
+        if not candidates:
+            return []
+        if self.policy is CleanerPolicy.GREEDY:
+            candidates.sort(key=lambda seg: (usage.info(seg).live_bytes, seg))
+        elif self.policy is CleanerPolicy.COST_BENEFIT:
+            now = self.fs.clock.now()
+
+            def benefit(seg: int) -> float:
+                u = usage.utilization(seg)
+                age = max(0.0, now - usage.info(seg).last_write)
+                return (1.0 - u) * age / (1.0 + u)
+
+            candidates.sort(key=lambda seg: (-benefit(seg), seg))
+        else:
+            self._rng.shuffle(candidates)
+        return candidates[:count]
+
+    # ------------------------------------------------------------------
+    # The cleaning loop
+    # ------------------------------------------------------------------
+
+    def clean(self, target_clean: int | None = None) -> int:
+        """Clean until ``target_clean`` segments are clean (or stuck).
+
+        Returns the number of segments cleaned.  Per §4.3.4, segments
+        are cleaned "until all segments are either clean or contain at
+        least a file-system-settable fraction of live blocks".
+        """
+        target = (
+            self.fs.config.clean_high_water
+            if target_clean is None
+            else target_clean
+        )
+        cleaned = 0
+        usage = self.fs.usage
+        start = self.fs.clock.now()
+        stagnant_passes = 0
+        while usage.clean_count() < target:
+            clean_before = usage.clean_count()
+            # Only segments that existed when this invocation began are
+            # victims: cleaning output (fresh, nearly full segments plus
+            # the checkpoint metadata that rides along) must not be
+            # re-cleaned in the same breath, or a nearly full disk makes
+            # the cleaner chase its own tail.
+            victims = self.select_victims(
+                self.victims_per_pass, written_before=start
+            )
+            if not victims and (
+                usage.clean_count()
+                <= self.fs.segments.reserve_segments + 2
+            ):
+                # Emergency: space is trapped in segments fuller than
+                # the policy threshold.  §4.3.4 notes cleaning full
+                # segments "will not harm the system" — it is merely
+                # expensive, and far better than wedging.
+                victims = self.select_victims(
+                    self.victims_per_pass,
+                    written_before=start,
+                    max_utilization=0.999,
+                )
+                self.stats.emergency_passes += 1 if victims else 0
+            if not victims:
+                break
+            self.stats.passes += 1
+            occupied = []
+            for seg in victims:
+                # §5.3: "Segments with no live blocks have no cost."  The
+                # in-session usage estimate is exact and recovery only ever
+                # over-estimates liveness, so zero genuinely means empty —
+                # reclaim such segments immediately, *before* the flush,
+                # so the flush itself has room to run even when the clean
+                # pool has bottomed out.
+                if usage.info(seg).live_bytes == 0:
+                    self.stats.empty_segments_skipped += 1
+                    usage.mark_clean(seg, self.fs.clock.now())
+                    cleaned += 1
+                    self.stats.segments_cleaned += 1
+                    continue
+                self._relocate_live_blocks(seg)
+                occupied.append(seg)
+            if occupied:
+                # The write-back both copies the live data and
+                # checkpoints, so nothing durable references the victims
+                # any more.
+                self.fs.flush_log(checkpoint=True, cleaner=True)
+                now = self.fs.clock.now()
+                for seg in occupied:
+                    usage.mark_clean(seg, now)
+                    cleaned += 1
+                    self.stats.segments_cleaned += 1
+            # Safety valve: a pass that costs as many segments as it
+            # frees means the disk is effectively full at this
+            # threshold; stop rather than spin.
+            if usage.clean_count() <= clean_before:
+                stagnant_passes += 1
+                if stagnant_passes >= 2:
+                    break
+            else:
+                stagnant_passes = 0
+        self.stats.busy_seconds += self.fs.clock.now() - start
+        return cleaned
+
+    # ------------------------------------------------------------------
+    # Per-segment relocation
+    # ------------------------------------------------------------------
+
+    def _relocate_live_blocks(self, seg: int) -> None:
+        fs = self.fs
+        layout = fs.layout
+        bs = fs.config.block_size
+        bps = fs.config.blocks_per_segment
+        if fs.usage.info(seg).state is not SegmentState.DIRTY:
+            raise CorruptionError(f"cleaning non-dirty segment {seg}")
+        first_block = layout.segment_first_block(seg)
+        raw = fs.disk.read(
+            first_block * fs.config.sectors_per_block,
+            bps * fs.config.sectors_per_block,
+            label=f"cleaner segment {seg}",
+        )
+        self.stats.bytes_read += len(raw)
+        offset = 0
+        while offset < bps:
+            try:
+                nsummary = SegmentSummary.peek_summary_blocks(
+                    raw[offset * bs : (offset + 1) * bs], bs
+                )
+                summary = SegmentSummary.unpack(raw[offset * bs :], bs)
+            except CorruptionError:
+                break  # end of the written log within this segment
+            fs.cpu.cleaner_blocks(len(summary.entries))
+            for position, entry in enumerate(summary.entries):
+                addr = first_block + offset + nsummary + position
+                payload = raw[
+                    (offset + nsummary + position)
+                    * bs : (offset + nsummary + position + 1)
+                    * bs
+                ]
+                if self._relocate_entry(entry, addr, payload):
+                    self.stats.live_blocks_copied += 1
+                    self.stats.live_bytes_copied += bs
+                else:
+                    self.stats.dead_blocks_dropped += 1
+            offset += nsummary + summary.nblocks
+
+    def _relocate_entry(
+        self, entry: SummaryEntry, addr: int, payload: bytes
+    ) -> bool:
+        """Re-dirty ``entry``'s block in cache if it is live."""
+        handler = {
+            BlockKind.DATA: self._relocate_data,
+            BlockKind.INDIRECT: self._relocate_pointer,
+            BlockKind.DINDIRECT: self._relocate_pointer,
+            BlockKind.INODE: self._relocate_inodes,
+            BlockKind.IMAP: self._relocate_imap,
+            BlockKind.SEGUSAGE: self._relocate_usage,
+        }[entry.kind]
+        return handler(entry, addr, payload)
+
+    def _file_is_current(self, entry: SummaryEntry) -> bool:
+        """Step 1 of §4.3.3: the summary-entry version check."""
+        imap_entry = self.fs.imap.get(entry.inum)
+        return imap_entry.allocated and imap_entry.version == entry.version
+
+    def _relocate_data(
+        self, entry: SummaryEntry, addr: int, payload: bytes
+    ) -> bool:
+        fs = self.fs
+        if not self._file_is_current(entry):
+            return False
+        inode = fs._get_inode(entry.inum)
+        if fs.block_map.get(inode, entry.index) != addr:
+            return False  # step 2: the file no longer points here
+        key = BlockKey(entry.inum, BlockKind.DATA, entry.index)
+        fs.cpu.cleaner_blocks(1)
+        cached = fs.cache.peek(key)
+        if cached is None:
+            fs.cache.insert(
+                key, bytearray(payload), dirty=True, now=fs.clock.now()
+            )
+        elif not cached.dirty:
+            fs.cache.mark_dirty(key, fs.clock.now())
+        fs._mark_inode_dirty(inode)
+        return True
+
+    def _relocate_pointer(
+        self, entry: SummaryEntry, addr: int, payload: bytes
+    ) -> bool:
+        fs = self.fs
+        if not self._file_is_current(entry):
+            return False
+        inode = fs._get_inode(entry.inum)
+        key = BlockKey(entry.inum, entry.kind, entry.index)
+        if fs._pointer_block_addr(inode, key) != addr:
+            return False
+        fs.cpu.cleaner_blocks(1)
+        # Materialize through the normal path (reuses the disk image we
+        # just read only if uncached; the cached copy is always current).
+        fs._load_pointers(key, addr)
+        fs.cache.mark_dirty(key, fs.clock.now())
+        fs._mark_inode_dirty(inode)
+        return True
+
+    def _relocate_inodes(
+        self, entry: SummaryEntry, addr: int, payload: bytes
+    ) -> bool:
+        fs = self.fs
+        any_live = False
+        for slot, inum in enumerate(entry.inums):
+            imap_entry = fs.imap.get(inum)
+            if not imap_entry.allocated or imap_entry.inode_addr != addr:
+                continue
+            any_live = True
+            fs.cpu.cleaner_blocks(1)
+            if inum not in fs._inodes:
+                inode = Inode.unpack(
+                    payload[slot * INODE_SIZE : (slot + 1) * INODE_SIZE]
+                )
+                if inode.inum != inum:
+                    raise CorruptionError(
+                        f"inode block at {addr} slot {slot} holds inode "
+                        f"{inode.inum}, expected {inum}"
+                    )
+                fs._inodes[inum] = inode
+            fs._mark_inode_dirty(fs._inodes[inum])
+        return any_live
+
+    def _relocate_imap(
+        self, entry: SummaryEntry, addr: int, payload: bytes
+    ) -> bool:
+        fs = self.fs
+        index = entry.index
+        if (
+            index >= fs.imap.num_blocks
+            or fs.imap.block_addrs[index] != addr
+        ):
+            return False
+        fs.imap.mark_block_dirty(index)
+        return True
+
+    def _relocate_usage(
+        self, entry: SummaryEntry, addr: int, payload: bytes
+    ) -> bool:
+        fs = self.fs
+        index = entry.index
+        if (
+            index >= fs.usage.num_blocks
+            or fs.usage.block_addrs[index] != addr
+        ):
+            return False
+        # Usage blocks are rewritten by the checkpoint that ends this
+        # cleaning pass; nothing to re-dirty, the block just moves.
+        return True

@@ -1,0 +1,300 @@
+"""The inode map (§4.2.1).
+
+LFS inodes float: every flush writes modified inodes to a new place in
+the log, so the file system needs a level of indirection from inode
+number to the inode's current disk location.  That is the inode map.  An
+entry also carries:
+
+* the **version number**, incremented whenever the file is truncated to
+  length zero or deleted — the cleaner's fast liveness check (§4.3.3);
+* the file's **access time**, kept here rather than in the inode so that
+  reading a file does not force its inode to move (paper footnote 2);
+* the slot of the inode within its packed inode block.
+
+The map is partitioned into blocks that are themselves written to the
+log; the checkpoint region records their addresses.  Per §4.2.1 the
+blocks mapping active files are expected to stay memory resident, so
+this implementation keeps the whole map in memory (for the paper-scale
+32 K inodes that is under a megabyte) and tracks per-block dirtiness for
+the segment writer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Set
+
+from repro.common.inode import NIL
+from repro.common.serialization import Packer, Unpacker
+from repro.errors import CorruptionError, NoInodesError
+from repro.vfs.base import ROOT_INUM
+
+IMAP_ENTRY_SIZE = 24
+"""Packed bytes per inode-map entry."""
+
+
+@dataclass
+class ImapEntry:
+    """Where one inode lives, plus version/atime bookkeeping."""
+
+    inode_addr: int = NIL
+    """Disk block holding the inode (NIL: free, or dirty-in-memory only)."""
+    slot: int = 0
+    """Index of the inode within its packed inode block."""
+    version: int = 0
+    atime: float = 0.0
+    allocated: bool = False
+
+    def pack(self) -> bytes:
+        return (
+            Packer()
+            .u64(self.inode_addr)
+            .u8(self.slot)
+            .u8(1 if self.allocated else 0)
+            .u32(self.version)
+            .f64(self.atime)
+            .raw(b"\x00\x00")  # pad to IMAP_ENTRY_SIZE
+            .bytes()
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ImapEntry":
+        unpacker = Unpacker(data)
+        inode_addr = unpacker.u64()
+        slot = unpacker.u8()
+        allocated = unpacker.u8() != 0
+        version = unpacker.u32()
+        atime = unpacker.f64()
+        return cls(
+            inode_addr=inode_addr,
+            slot=slot,
+            version=version,
+            atime=atime,
+            allocated=allocated,
+        )
+
+
+class InodeMap:
+    """In-memory inode map with per-block dirty tracking."""
+
+    def __init__(self, max_inodes: int, block_size: int) -> None:
+        self.max_inodes = max_inodes
+        self.block_size = block_size
+        self.entries_per_block = block_size // IMAP_ENTRY_SIZE
+        self.num_blocks = (
+            max_inodes + self.entries_per_block - 1
+        ) // self.entries_per_block
+        self._entries: List[ImapEntry] = [ImapEntry() for _ in range(max_inodes)]
+        self._dirty_blocks: Set[int] = set()
+        self.block_addrs: List[int] = [NIL] * self.num_blocks
+        """Current log address of each imap block (NIL: never written)."""
+        self._alloc_hint = ROOT_INUM
+        # Demand loading (§4.2.1: imap blocks are "cached like regular
+        # files"): after attach(), a block is only read from the log
+        # when an entry in it is first touched.  A freshly built map is
+        # fully "loaded" (everything free).
+        self._loaded: List[bool] = [True] * self.num_blocks
+        self._fetch: Optional[Callable[[int], bytes]] = None
+        self.demand_loads = 0
+
+    # ------------------------------------------------------------------
+    # Entry access
+    # ------------------------------------------------------------------
+
+    def _check_inum(self, inum: int) -> None:
+        # Inode 0 is reserved so that inum 0 never appears in directories.
+        if not 0 < inum < self.max_inodes:
+            raise CorruptionError(f"inode number {inum} out of range")
+
+    def block_of(self, inum: int) -> int:
+        self._check_inum(inum)
+        return inum // self.entries_per_block
+
+    def _ensure_loaded(self, index: int) -> None:
+        if self._loaded[index]:
+            return
+        addr = self.block_addrs[index]
+        if addr != NIL:
+            if self._fetch is None:
+                raise CorruptionError(
+                    f"imap block {index} not loaded and no fetch callback"
+                )
+            data = self._fetch(addr)
+            first = index * self.entries_per_block
+            last = min(first + self.entries_per_block, self.max_inodes)
+            for position, inum in enumerate(range(first, last)):
+                offset = position * IMAP_ENTRY_SIZE
+                self._entries[inum] = ImapEntry.unpack(
+                    data[offset : offset + IMAP_ENTRY_SIZE]
+                )
+            self.demand_loads += 1
+        self._loaded[index] = True
+
+    def get(self, inum: int) -> ImapEntry:
+        self._check_inum(inum)
+        self._ensure_loaded(inum // self.entries_per_block)
+        return self._entries[inum]
+
+    def _touch(self, inum: int) -> None:
+        self._dirty_blocks.add(self.block_of(inum))
+
+    def set_location(self, inum: int, inode_addr: int, slot: int) -> int:
+        """Record a freshly written inode; returns the previous address."""
+        entry = self.get(inum)
+        if not entry.allocated:
+            raise CorruptionError(
+                f"inode {inum} written to the log but not allocated"
+            )
+        previous = entry.inode_addr
+        entry.inode_addr = inode_addr
+        entry.slot = slot
+        self._touch(inum)
+        return previous
+
+    def set_atime(self, inum: int, atime: float) -> None:
+        entry = self.get(inum)
+        entry.atime = atime
+        self._touch(inum)
+
+    def bump_version(self, inum: int) -> None:
+        """Truncation-to-zero: all previously logged blocks become dead."""
+        entry = self.get(inum)
+        entry.version += 1
+        self._touch(inum)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(self, now: float) -> int:
+        """Allocate a free inode number (lowest-first from a rotating hint)."""
+        for candidate in self._scan_from_hint():
+            entry = self.get(candidate)
+            if not entry.allocated:
+                entry.allocated = True
+                entry.inode_addr = NIL
+                entry.slot = 0
+                entry.atime = now
+                self._alloc_hint = candidate + 1
+                self._touch(candidate)
+                return candidate
+        raise NoInodesError(f"all {self.max_inodes} inodes are allocated")
+
+    def _scan_from_hint(self) -> Iterator[int]:
+        start = self._alloc_hint if ROOT_INUM <= self._alloc_hint < self.max_inodes else ROOT_INUM
+        yield from range(start, self.max_inodes)
+        yield from range(ROOT_INUM, start)
+
+    def force_allocate(self, inum: int, now: float) -> None:
+        """Allocate a specific inode number (mkfs uses this for the root)."""
+        entry = self.get(inum)
+        if entry.allocated:
+            raise CorruptionError(f"inode {inum} is already allocated")
+        entry.allocated = True
+        entry.inode_addr = NIL
+        entry.slot = 0
+        entry.atime = now
+        self._touch(inum)
+
+    def free(self, inum: int) -> int:
+        """Free an inode; returns its previous disk address (may be NIL).
+
+        The version bump makes every logged block of the file fail the
+        cleaner's summary-entry check (§4.3.3 step 1).
+        """
+        entry = self.get(inum)
+        if not entry.allocated:
+            raise CorruptionError(f"double free of inode {inum}")
+        previous = entry.inode_addr
+        entry.allocated = False
+        entry.inode_addr = NIL
+        entry.slot = 0
+        entry.version += 1
+        self._alloc_hint = min(self._alloc_hint, inum)
+        self._touch(inum)
+        return previous
+
+    def allocated_count(self) -> int:
+        for index in range(self.num_blocks):
+            self._ensure_loaded(index)
+        return sum(1 for entry in self._entries if entry.allocated)
+
+    def allocated_inums(self) -> List[int]:
+        for index in range(self.num_blocks):
+            self._ensure_loaded(index)
+        return [
+            inum for inum, entry in enumerate(self._entries) if entry.allocated
+        ]
+
+    # ------------------------------------------------------------------
+    # Block (de)serialization for the segment writer / mount path
+    # ------------------------------------------------------------------
+
+    def dirty_block_indexes(self) -> List[int]:
+        return sorted(self._dirty_blocks)
+
+    def mark_block_dirty(self, index: int) -> None:
+        if not 0 <= index < self.num_blocks:
+            raise CorruptionError(f"imap block index {index} out of range")
+        self._dirty_blocks.add(index)
+
+    def mark_block_clean(self, index: int) -> None:
+        self._dirty_blocks.discard(index)
+
+    def has_dirty_blocks(self) -> bool:
+        return bool(self._dirty_blocks)
+
+    def pack_block(self, index: int) -> bytes:
+        if not 0 <= index < self.num_blocks:
+            raise CorruptionError(f"imap block index {index} out of range")
+        self._ensure_loaded(index)
+        first = index * self.entries_per_block
+        last = min(first + self.entries_per_block, self.max_inodes)
+        data = b"".join(
+            self._entries[inum].pack() for inum in range(first, last)
+        )
+        return data + b"\x00" * (self.block_size - len(data))
+
+    def load_block(self, index: int, data: bytes) -> None:
+        if not 0 <= index < self.num_blocks:
+            raise CorruptionError(f"imap block index {index} out of range")
+        first = index * self.entries_per_block
+        last = min(first + self.entries_per_block, self.max_inodes)
+        for position, inum in enumerate(range(first, last)):
+            offset = position * IMAP_ENTRY_SIZE
+            self._entries[inum] = ImapEntry.unpack(
+                data[offset : offset + IMAP_ENTRY_SIZE]
+            )
+        self._dirty_blocks.discard(index)
+        self._loaded[index] = True
+
+    def attach(
+        self, addrs: List[int], fetch: Callable[[int], bytes]
+    ) -> None:
+        """Adopt checkpointed block addresses; blocks load on demand.
+
+        This is what makes LFS mount/recovery time independent of the
+        file count: nothing in the map is read until a file is touched.
+        """
+        if len(addrs) != self.num_blocks:
+            raise CorruptionError(
+                f"checkpoint lists {len(addrs)} imap blocks, layout has "
+                f"{self.num_blocks}"
+            )
+        self.block_addrs = list(addrs)
+        self._fetch = fetch
+        self._loaded = [False] * self.num_blocks
+        self._entries = [ImapEntry() for _ in range(self.max_inodes)]
+        self._dirty_blocks.clear()
+        self._alloc_hint = ROOT_INUM
+
+    def load_all(
+        self, addrs: List[int], read_block: Callable[[int], bytes]
+    ) -> None:
+        """Rebuild the whole map eagerly (tests and tools)."""
+        self.attach(addrs, read_block)
+        for index in range(self.num_blocks):
+            self._ensure_loaded(index)
+
+    def find_alloc_hint(self) -> Optional[int]:
+        return self._alloc_hint

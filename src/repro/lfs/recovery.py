@@ -1,0 +1,202 @@
+"""Crash recovery: checkpoint mount and log roll-forward (§4.4).
+
+Mounting from a checkpoint alone is the paper's "simpler algorithm with
+zero recovery time": adopt the checkpointed inode map, usage array and
+log position, losing anything written after the checkpoint.
+
+Roll-forward is the mechanism the paper says LFS will "ultimately" use,
+implemented here: starting at the checkpointed log tail, scan forward
+through partial segments, validating each summary (magic, CRC, and an
+exactly-continuing sequence number) and replaying the inode-map and
+segment-usage blocks it contains.  Because every flush appends the inode
+map blocks covering every inode it moved, replaying the logged imap
+blocks in order reconstructs the complete inode-location and allocation
+state as of the last flush that reached the disk; file data and indirect
+blocks need no replay at all — the recovered inodes already point at
+them.
+
+Navigation mirrors the writer: the next partial segment normally starts
+where the previous one ended; when the writer skipped to a fresh segment
+(not enough room left), the previous summary's next-segment link says
+where to look instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.common.inode import BlockKind
+from repro.errors import CorruptionError
+from repro.lfs.checkpoint import CheckpointData
+from repro.lfs.segments import LogPosition
+from repro.lfs.segment_usage import SegmentState
+from repro.lfs.summary import SegmentSummary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lfs.filesystem import LogStructuredFS
+
+
+@dataclass
+class RollForwardReport:
+    """What a roll-forward pass found and applied."""
+
+    partials_applied: int = 0
+    blocks_recovered: int = 0
+    imap_blocks_applied: int = 0
+    usage_blocks_applied: int = 0
+    segments_visited: List[int] = field(default_factory=list)
+    stop_reason: str = "checkpoint-only"
+    recovery_seconds: float = 0.0
+
+
+def roll_forward(
+    fs: "LogStructuredFS", checkpoint: CheckpointData
+) -> RollForwardReport:
+    """Replay log writes that happened after ``checkpoint``.
+
+    Mutates the file system's inode map, usage array and log position;
+    the caller is responsible for writing a fresh checkpoint afterwards.
+    """
+    report = RollForwardReport()
+    start_time = fs.clock.now()
+    layout = fs.layout
+    bs = fs.config.block_size
+    bps = fs.config.blocks_per_segment
+
+    seg = checkpoint.position.active_segment
+    offset = checkpoint.position.active_offset
+    fallback_seg: Optional[int] = checkpoint.position.next_segment
+    expected_seq = checkpoint.position.sequence
+    report.segments_visited.append(seg)
+
+    while True:
+        parsed = _try_parse(fs, seg, offset, expected_seq, checkpoint.timestamp)
+        if parsed is None and fallback_seg is not None and offset != 0:
+            # The writer may have skipped to a fresh segment mid-flush.
+            candidate = _try_parse(
+                fs, fallback_seg, 0, expected_seq, checkpoint.timestamp
+            )
+            if candidate is not None:
+                seg, offset = fallback_seg, 0
+                report.segments_visited.append(seg)
+                parsed = candidate
+        if parsed is None:
+            report.stop_reason = (
+                "log-end" if report.partials_applied else "no-writes-after-checkpoint"
+            )
+            break
+        summary, nsummary = parsed
+        _apply_partial(fs, seg, offset, nsummary, summary, report)
+        report.partials_applied += 1
+        expected_seq = summary.seq + 1
+        offset += nsummary + summary.nblocks
+        if summary.next_segment_block != 0:
+            fallback_seg = layout.segment_of_block(summary.next_segment_block)
+        if bps - offset < 2:
+            if fallback_seg is None:
+                report.stop_reason = "segment-chain-end"
+                break
+            fs.usage.force_state(seg, SegmentState.DIRTY)
+            seg, offset = fallback_seg, 0
+            report.segments_visited.append(seg)
+
+    # Leave the log positioned exactly after the last applied partial.
+    next_seg = fallback_seg if fallback_seg is not None else checkpoint.position.next_segment
+    if next_seg == seg:
+        # Degenerate but possible if no partial was applied: keep the
+        # checkpointed pre-selection.
+        next_seg = checkpoint.position.next_segment
+    fs.segments.restore(
+        LogPosition(
+            active_segment=seg,
+            active_offset=offset,
+            next_segment=next_seg,
+            sequence=expected_seq,
+        )
+    )
+    fs.usage.force_state(seg, SegmentState.ACTIVE)
+    fs.usage.force_state(next_seg, SegmentState.ACTIVE)
+    report.recovery_seconds = fs.clock.now() - start_time
+    return report
+
+
+def _try_parse(
+    fs: "LogStructuredFS",
+    seg: int,
+    offset: int,
+    expected_seq: int,
+    min_timestamp: float,
+) -> Optional[Tuple[SegmentSummary, int]]:
+    """Parse and validate the partial segment at (seg, offset)."""
+    bs = fs.config.block_size
+    bps = fs.config.blocks_per_segment
+    if bps - offset < 2:
+        return None
+    first_block = fs.layout.segment_first_block(seg) + offset
+    spb = fs.config.sectors_per_block
+    head = fs.disk.read(first_block * spb, spb, label="roll-forward probe")
+    try:
+        nsummary = SegmentSummary.peek_summary_blocks(head, bs)
+    except CorruptionError:
+        return None
+    if offset + nsummary > bps:
+        return None
+    if nsummary > 1:
+        rest = fs.disk.read(
+            (first_block + 1) * spb,
+            (nsummary - 1) * spb,
+            label="roll-forward summary",
+        )
+        head = head + rest
+    try:
+        summary = SegmentSummary.unpack(head, bs)
+    except CorruptionError:
+        return None
+    if summary.seq != expected_seq:
+        return None  # stale summary from the segment's previous life
+    if summary.timestamp < min_timestamp:
+        return None
+    if offset + nsummary + summary.nblocks > bps:
+        return None
+    return summary, nsummary
+
+
+def _apply_partial(
+    fs: "LogStructuredFS",
+    seg: int,
+    offset: int,
+    nsummary: int,
+    summary: SegmentSummary,
+    report: RollForwardReport,
+) -> None:
+    bs = fs.config.block_size
+    spb = fs.config.sectors_per_block
+    first_content = fs.layout.segment_first_block(seg) + offset + nsummary
+    if summary.nblocks:
+        raw = fs.disk.read(
+            first_content * spb,
+            summary.nblocks * spb,
+            label=f"roll-forward seq {summary.seq}",
+        )
+    else:
+        raw = b""
+    for position, entry in enumerate(summary.entries):
+        addr = first_content + position
+        payload = raw[position * bs : (position + 1) * bs]
+        if entry.kind is BlockKind.IMAP:
+            if entry.index < fs.imap.num_blocks:
+                fs.imap.load_block(entry.index, payload)
+                fs.imap.block_addrs[entry.index] = addr
+                fs.imap.mark_block_dirty(entry.index)
+                report.imap_blocks_applied += 1
+        elif entry.kind is BlockKind.SEGUSAGE:
+            if entry.index < fs.usage.num_blocks:
+                fs.usage.load_block(entry.index, payload)
+                fs.usage.block_addrs[entry.index] = addr
+                report.usage_blocks_applied += 1
+        # DATA / INDIRECT / DINDIRECT / INODE blocks need no replay: the
+        # imap blocks logged in the same flush point at them already.
+        report.blocks_recovered += 1
+    # Re-estimate liveness for the recovered region (hint only, §4.3.4).
+    fs.usage.note_write_hint(seg, summary.nblocks * bs, fs.clock.now())

@@ -1,0 +1,231 @@
+"""Segment allocation and the segment writer (§4.1, §4.3).
+
+The log is a chain of fixed-size segments.  The writer packs planned
+blocks into *partial segments* — a summary followed by content blocks —
+and pushes each partial segment to disk as **one large sequential,
+asynchronous transfer**, which is the entire performance story of the
+paper's Figure 2.  Partial segments arise when a flush does not fill the
+current segment (§4.3.5 notes this is the system running below capacity,
+not a problem).
+
+Segment selection pre-picks the *next* segment when the current one is
+opened so that every summary can record where the log continues; that
+forward link is what crash recovery follows when rolling forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.common.inode import NIL
+from repro.disk.sim_disk import SimDisk
+from repro.errors import CleanerError, NoSpaceError
+from repro.lfs.config import LfsLayout
+from repro.lfs.segment_usage import SegmentUsage
+from repro.lfs.summary import SegmentSummary, SummaryEntry
+from repro.sim.clock import SimClock
+
+
+@dataclass
+class PlannedBlock:
+    """One block headed for the log.
+
+    ``finalize`` is invoked with the assigned disk address before any
+    payload in the same partial segment is serialized; it updates the
+    referencing structure (pointer slot, inode map, ...) and the segment
+    usage accounting.  ``payload`` is called afterwards, so blocks whose
+    serialized form depends on later-placed blocks' addresses (inodes,
+    inode-map blocks) are always written with the final values.
+    """
+
+    entry: SummaryEntry
+    payload: Callable[[], bytes]
+    finalize: Callable[[int], None]
+
+
+@dataclass
+class LogPosition:
+    """Where the log tail is (persisted in the checkpoint region)."""
+
+    active_segment: int
+    active_offset: int  # blocks already used within the active segment
+    next_segment: int
+    sequence: int  # sequence number of the next partial segment
+
+
+class SegmentManager:
+    """Owns the log tail: segment selection and partial-segment writes."""
+
+    def __init__(
+        self,
+        layout: LfsLayout,
+        usage: SegmentUsage,
+        disk: SimDisk,
+        clock: SimClock,
+        reserve_segments: int,
+    ) -> None:
+        self.layout = layout
+        self.usage = usage
+        self.disk = disk
+        self.clock = clock
+        self.reserve_segments = reserve_segments
+        self.cleaner_mode = False
+        self._pos: Optional[LogPosition] = None
+        self.segments_written = 0
+        self.partial_segments_written = 0
+        self.log_bytes_written = 0
+        self.cleaner_bytes_written = 0
+
+    # ------------------------------------------------------------------
+    # Log-tail state
+    # ------------------------------------------------------------------
+
+    @property
+    def position(self) -> LogPosition:
+        if self._pos is None:
+            raise CleanerError("segment manager has no open log")
+        return self._pos
+
+    def start_fresh(self) -> None:
+        """Open a brand-new log (mkfs): claim the first two clean segments."""
+        active = self._pop_clean()
+        nxt = self._pop_clean()
+        self._pos = LogPosition(
+            active_segment=active, active_offset=0, next_segment=nxt, sequence=1
+        )
+
+    def restore(self, position: LogPosition) -> None:
+        """Adopt a log position read from a checkpoint."""
+        self._pos = LogPosition(
+            active_segment=position.active_segment,
+            active_offset=position.active_offset,
+            next_segment=position.next_segment,
+            sequence=position.sequence,
+        )
+
+    def _pop_clean(self) -> int:
+        clean = self.usage.clean_segments()
+        if not self.cleaner_mode and len(clean) <= self.reserve_segments:
+            raise NoSpaceError(
+                f"only {len(clean)} clean segments left "
+                f"(reserve is {self.reserve_segments}); cleaning required"
+            )
+        if not clean:
+            raise NoSpaceError("no clean segments at all: file system full")
+        seg = clean[0]
+        self.usage.mark_active(seg)
+        return seg
+
+    def _advance_segment(self) -> None:
+        pos = self.position
+        self.usage.mark_dirty(pos.active_segment)
+        pos.active_segment = pos.next_segment
+        pos.active_offset = 0
+        pos.next_segment = self._pop_clean()
+        self.segments_written += 1
+
+    def remaining_blocks(self) -> int:
+        return self.layout.config.blocks_per_segment - self.position.active_offset
+
+    def clean_segments_available(self) -> int:
+        return self.usage.clean_count()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def write_plan(self, plan: List[PlannedBlock]) -> int:
+        """Write every planned block to the log; returns bytes written.
+
+        The plan is split into partial segments as dictated by the space
+        remaining in the active segment.  Each partial segment goes to
+        the disk as a single asynchronous request.
+        """
+        bs = self.layout.config.block_size
+        total_bytes = 0
+        index = 0
+        while index < len(plan):
+            if self.remaining_blocks() < 2:
+                self._advance_segment()
+            chunk, nsummary = self._take_chunk(plan, index)
+            if not chunk:
+                # Not even one block fits next to its summary here.
+                self._advance_segment()
+                continue
+            total_bytes += self._write_partial(chunk, nsummary)
+            index += len(chunk)
+        return total_bytes
+
+    def _take_chunk(
+        self, plan: List[PlannedBlock], start: int
+    ) -> "tuple[List[PlannedBlock], int]":
+        """Largest plan prefix from ``start`` that fits the active segment."""
+        bs = self.layout.config.block_size
+        remaining = self.remaining_blocks()
+        chunk: List[PlannedBlock] = []
+        entries_size = 0
+        nsummary = 1
+        for planned in plan[start:]:
+            new_size = entries_size + planned.entry.packed_size()
+            new_nsummary = SegmentSummary.blocks_needed(new_size, bs)
+            if new_nsummary + len(chunk) + 1 > remaining:
+                break
+            chunk.append(planned)
+            entries_size = new_size
+            nsummary = new_nsummary
+        return chunk, nsummary
+
+    def _write_partial(self, chunk: List[PlannedBlock], nsummary: int) -> int:
+        bs = self.layout.config.block_size
+        pos = self.position
+        now = self.clock.now()
+        first_block = (
+            self.layout.segment_first_block(pos.active_segment)
+            + pos.active_offset
+        )
+        content_start = first_block + nsummary
+        # Phase 1: hand out addresses (updates pointers, imap, usage).
+        for offset, planned in enumerate(chunk):
+            planned.finalize(content_start + offset)
+        # Phase 2: serialize with final contents.
+        summary = SegmentSummary(
+            seq=pos.sequence,
+            timestamp=now,
+            next_segment_block=self.layout.segment_first_block(
+                pos.next_segment
+            ),
+            entries=[planned.entry for planned in chunk],
+        )
+        parts = [summary.pack(bs)]
+        for planned in chunk:
+            payload = planned.payload()
+            if len(payload) != bs:
+                raise CleanerError(
+                    f"planned block serialized to {len(payload)} bytes, "
+                    f"expected {bs}"
+                )
+            parts.append(payload)
+        data = b"".join(parts)
+        if len(data) != (nsummary + len(chunk)) * bs:
+            raise AssertionError("partial segment size mismatch")
+        label = (
+            f"segment:{pos.active_segment}"
+            f"+{pos.active_offset} seq={pos.sequence}"
+            + (" (cleaner)" if self.cleaner_mode else "")
+        )
+        self.disk.write(
+            first_block * self.layout.config.sectors_per_block,
+            data,
+            sync=False,
+            label=label,
+        )
+        pos.active_offset += nsummary + len(chunk)
+        pos.sequence += 1
+        self.partial_segments_written += 1
+        self.log_bytes_written += len(data)
+        if self.cleaner_mode:
+            self.cleaner_bytes_written += len(data)
+        if self.remaining_blocks() < 2:
+            self._advance_segment()
+        return len(data)

@@ -1,0 +1,180 @@
+"""Segment summary blocks (§4.3.1).
+
+Every partial segment written to the log starts with a summary that
+identifies, for each block that follows, the owning file and the block's
+position within it — the information the cleaner needs to decide
+liveness (§4.3.3) and recovery needs to roll the log forward (§4.4).
+The header also carries a monotonically increasing log sequence number,
+a timestamp, and the address of the *next* segment in the log (chosen
+when the current segment was opened), which is how the segmented log is
+"linked together" for roll-forward.
+
+A stale summary left over from a segment's previous life is rejected by
+three independent guards: the magic number, the CRC over the summary,
+and the sequence number, which must exactly continue the log being
+scanned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.common.inode import BlockKind, NIL
+from repro.common.serialization import Packer, Unpacker, checksum
+from repro.errors import CorruptionError
+from repro.lfs.config import SUMMARY_MAGIC
+
+_HEADER_SIZE = 4 + 8 + 8 + 8 + 4 + 2 + 4  # through the checksum field
+_ENTRY_BASE_SIZE = 1 + 4 + 8 + 4 + 2
+
+
+@dataclass(frozen=True)
+class SummaryEntry:
+    """Describes one content block of a partial segment."""
+
+    kind: BlockKind
+    inum: int
+    index: int
+    version: int = 0
+    inums: Tuple[int, ...] = ()
+    """For INODE blocks: the inode numbers packed into the block."""
+
+    def packed_size(self) -> int:
+        return _ENTRY_BASE_SIZE + 4 * len(self.inums)
+
+    def pack_into(self, packer: Packer) -> None:
+        packer.u8(int(self.kind))
+        packer.u32(self.inum)
+        packer.u64(self.index)
+        packer.u32(self.version)
+        packer.u16(len(self.inums))
+        for inum in self.inums:
+            packer.u32(inum)
+
+    @classmethod
+    def unpack_from(cls, unpacker: Unpacker) -> "SummaryEntry":
+        raw_kind = unpacker.u8()
+        try:
+            kind = BlockKind(raw_kind)
+        except ValueError as exc:
+            raise CorruptionError(f"bad summary block kind {raw_kind}") from exc
+        inum = unpacker.u32()
+        index = unpacker.u64()
+        version = unpacker.u32()
+        count = unpacker.u16()
+        inums = tuple(unpacker.u32() for _ in range(count))
+        return cls(
+            kind=kind, inum=inum, index=index, version=version, inums=inums
+        )
+
+
+@dataclass
+class SegmentSummary:
+    """Header + entries for one partial segment."""
+
+    seq: int
+    timestamp: float
+    next_segment_block: int = NIL
+    entries: List[SummaryEntry] = field(default_factory=list)
+
+    @property
+    def nblocks(self) -> int:
+        """Content blocks that follow the summary."""
+        return len(self.entries)
+
+    @staticmethod
+    def blocks_needed(entries_size: int, block_size: int) -> int:
+        total = _HEADER_SIZE + entries_size
+        return (total + block_size - 1) // block_size
+
+    def summary_blocks(self, block_size: int) -> int:
+        return self.blocks_needed(
+            sum(entry.packed_size() for entry in self.entries), block_size
+        )
+
+    def pack(self, block_size: int) -> bytes:
+        nsummary = self.summary_blocks(block_size)
+        body = Packer()
+        for entry in self.entries:
+            entry.pack_into(body)
+        body_bytes = body.bytes()
+        header = (
+            Packer()
+            .u32(SUMMARY_MAGIC)
+            .u64(self.seq)
+            .f64(self.timestamp)
+            .u64(self.next_segment_block)
+            .u32(len(self.entries))
+            .u16(nsummary)
+        )
+        crc = checksum(header.bytes() + body_bytes)
+        header.u32(crc)
+        data = header.bytes() + body_bytes
+        padded_size = nsummary * block_size
+        if len(data) > padded_size:
+            raise AssertionError(
+                f"summary packs to {len(data)} bytes > {padded_size}"
+            )
+        return data + b"\x00" * (padded_size - len(data))
+
+    @classmethod
+    def unpack(cls, data: bytes, block_size: int) -> "SegmentSummary":
+        """Parse and validate a summary starting at ``data[0]``.
+
+        ``data`` must include at least the first block; if the summary
+        spans several blocks the caller must supply them all (the header
+        says how many — use :meth:`peek_summary_blocks` first).
+        """
+        unpacker = Unpacker(data)
+        magic = unpacker.u32()
+        if magic != SUMMARY_MAGIC:
+            raise CorruptionError(f"bad summary magic 0x{magic:08x}")
+        seq = unpacker.u64()
+        timestamp = unpacker.f64()
+        next_segment_block = unpacker.u64()
+        nentries = unpacker.u32()
+        nsummary = unpacker.u16()
+        crc = unpacker.u32()
+        if nsummary * block_size > len(data):
+            raise CorruptionError(
+                f"summary claims {nsummary} blocks, only "
+                f"{len(data) // block_size} supplied"
+            )
+        entries = [SummaryEntry.unpack_from(unpacker) for _ in range(nentries)]
+        verify = (
+            Packer()
+            .u32(magic)
+            .u64(seq)
+            .f64(timestamp)
+            .u64(next_segment_block)
+            .u32(nentries)
+            .u16(nsummary)
+        )
+        body = Packer()
+        for entry in entries:
+            entry.pack_into(body)
+        if checksum(verify.bytes() + body.bytes()) != crc:
+            raise CorruptionError(f"summary checksum mismatch at seq {seq}")
+        return cls(
+            seq=seq,
+            timestamp=timestamp,
+            next_segment_block=next_segment_block,
+            entries=entries,
+        )
+
+    @staticmethod
+    def peek_summary_blocks(first_block: bytes, block_size: int) -> int:
+        """How many blocks this summary spans, validating magic only."""
+        unpacker = Unpacker(first_block)
+        magic = unpacker.u32()
+        if magic != SUMMARY_MAGIC:
+            raise CorruptionError(f"bad summary magic 0x{magic:08x}")
+        unpacker.u64()  # seq
+        unpacker.f64()  # timestamp
+        unpacker.u64()  # next segment
+        unpacker.u32()  # entry count
+        nsummary = unpacker.u16()
+        if nsummary == 0:
+            raise CorruptionError("summary claims zero blocks")
+        return nsummary

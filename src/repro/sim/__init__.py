@@ -1,0 +1,6 @@
+"""Simulation substrate: the virtual clock and the CPU cost model."""
+
+from repro.sim.clock import SimClock
+from repro.sim.cpu import CpuCosts, CpuModel
+
+__all__ = ["SimClock", "CpuCosts", "CpuModel"]

@@ -1,0 +1,5 @@
+"""Operator tools: on-disk image inspection and the command line."""
+
+from repro.tools.inspect import describe_image, identify
+
+__all__ = ["describe_image", "identify"]

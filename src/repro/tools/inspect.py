@@ -1,0 +1,237 @@
+"""Read-only inspection of raw device images.
+
+These helpers parse on-disk state directly from a
+:class:`~repro.disk.device.SectorDevice` — no mount, no cache — which
+makes them useful both for debugging the file systems and for verifying
+in tests that what mount *says* matches what the bytes *are*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.serialization import Unpacker
+from repro.disk.device import SectorDevice
+from repro.errors import CorruptionError
+from repro.ffs.allocator import CylinderGroup
+from repro.ffs.config import FFS_MAGIC, FfsConfig, FfsLayout
+from repro.ffs.filesystem import FfsSuperBlock
+from repro.lfs.checkpoint import CheckpointData
+from repro.lfs.config import (
+    CHECKPOINT_REGION_BLOCKS,
+    LFS_MAGIC,
+    LfsConfig,
+    LfsLayout,
+)
+from repro.lfs.filesystem import SuperBlock
+from repro.lfs.segment_usage import SegmentState, SegmentUsage
+from repro.lfs.summary import SegmentSummary
+from repro.units import fmt_bytes, fmt_time
+
+
+def identify(device: SectorDevice) -> Optional[str]:
+    """Which file system formatted this device: 'lfs', 'ffs' or None."""
+    head = device.read(0, 1)
+    magic = Unpacker(head).u32()
+    if magic == LFS_MAGIC:
+        return "lfs"
+    if magic == FFS_MAGIC:
+        return "ffs"
+    return None
+
+
+def _read_block(device: SectorDevice, addr: int, block_size: int) -> bytes:
+    spb = block_size // device.sector_size
+    return device.read(addr * spb, spb)
+
+
+# ---------------------------------------------------------------------------
+# LFS
+# ---------------------------------------------------------------------------
+
+
+def _utilization_map(usage: SegmentUsage, width: int = 64) -> List[str]:
+    """One character per segment: '.'=clean, 'A'=active, 0-9=decile."""
+    cells: List[str] = []
+    for seg in range(usage.num_segments):
+        info = usage.info(seg)
+        if info.state is SegmentState.CLEAN:
+            cells.append(".")
+        elif info.state is SegmentState.ACTIVE:
+            cells.append("A")
+        else:
+            decile = min(9, int(usage.utilization(seg) * 10))
+            cells.append(str(decile))
+    return [
+        "".join(cells[row : row + width])
+        for row in range(0, len(cells), width)
+    ]
+
+
+def describe_lfs(device: SectorDevice) -> str:
+    """Human-readable dump of an LFS image."""
+    superblock = SuperBlock.unpack(
+        device.read(0, 8 * 1024 // device.sector_size)
+    )
+    config = LfsConfig(
+        block_size=superblock.block_size,
+        segment_size=superblock.segment_size,
+        max_inodes=superblock.max_inodes,
+    )
+    layout = LfsLayout.for_device(config, device.total_bytes)
+    lines = [
+        "LFS image",
+        f"  block size    {fmt_bytes(superblock.block_size)}",
+        f"  segment size  {fmt_bytes(superblock.segment_size)}",
+        f"  segments      {layout.num_segments}",
+        f"  max inodes    {superblock.max_inodes}",
+    ]
+    checkpoints: List[CheckpointData] = []
+    for region, addr in enumerate(layout.checkpoint_addrs):
+        raw = b"".join(
+            _read_block(device, addr + i, config.block_size)
+            for i in range(CHECKPOINT_REGION_BLOCKS)
+        )
+        try:
+            data = CheckpointData.unpack(raw)
+        except CorruptionError:
+            lines.append(f"  checkpoint {region}: invalid")
+            continue
+        checkpoints.append(data)
+        lines.append(
+            f"  checkpoint {region}: t={fmt_time(data.timestamp)} "
+            f"seq={data.position.sequence} "
+            f"tail=segment {data.position.active_segment}"
+            f"+{data.position.active_offset}"
+        )
+    if not checkpoints:
+        lines.append("  no valid checkpoint: image is not recoverable")
+        return "\n".join(lines)
+    newest = max(checkpoints, key=lambda data: data.timestamp)
+
+    usage = SegmentUsage(
+        layout.num_segments, config.segment_size, config.block_size
+    )
+    try:
+        usage.load_all(
+            newest.usage_addrs,
+            lambda addr: _read_block(device, addr, config.block_size),
+        )
+    except CorruptionError:
+        lines.append("  segment usage: unreadable")
+        return "\n".join(lines)
+    live = usage.total_live_bytes()
+    lines.append(
+        f"  live data     {fmt_bytes(live)} "
+        f"({100 * live / layout.data_capacity_bytes:.1f}% of the log)"
+    )
+    lines.append(
+        f"  segments      {usage.clean_count()} clean / "
+        f"{len(usage.dirty_segments())} dirty"
+    )
+    lines.append("  utilization map ('.'=clean, 'A'=active, 0-9=decile):")
+    lines.extend(f"    {row}" for row in _utilization_map(usage))
+    lines.append("  log tail summaries:")
+    lines.extend(
+        f"    {entry}" for entry in _tail_summaries(device, config, layout, newest)
+    )
+    return "\n".join(lines)
+
+
+def _tail_summaries(
+    device: SectorDevice,
+    config: LfsConfig,
+    layout: LfsLayout,
+    checkpoint: CheckpointData,
+    limit: int = 5,
+) -> List[str]:
+    """Parse up to ``limit`` partial segments after the checkpoint."""
+    entries: List[str] = []
+    seg = checkpoint.position.active_segment
+    offset = checkpoint.position.active_offset
+    seq = checkpoint.position.sequence
+    bps = config.blocks_per_segment
+    while len(entries) < limit and bps - offset >= 2:
+        first = layout.segment_first_block(seg) + offset
+        head = _read_block(device, first, config.block_size)
+        try:
+            nsummary = SegmentSummary.peek_summary_blocks(head, config.block_size)
+            raw = b"".join(
+                _read_block(device, first + i, config.block_size)
+                for i in range(nsummary)
+            )
+            summary = SegmentSummary.unpack(raw, config.block_size)
+        except CorruptionError:
+            break
+        if summary.seq != seq:
+            break
+        kinds = {}
+        for entry in summary.entries:
+            kinds[entry.kind.name] = kinds.get(entry.kind.name, 0) + 1
+        entries.append(
+            f"seq {summary.seq} @ segment {seg}+{offset}: "
+            f"{summary.nblocks} blocks "
+            f"({', '.join(f'{v} {k}' for k, v in sorted(kinds.items()))})"
+        )
+        offset += nsummary + summary.nblocks
+        seq += 1
+    if not entries:
+        entries.append("(no writes after the last checkpoint)")
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# FFS
+# ---------------------------------------------------------------------------
+
+
+def describe_ffs(device: SectorDevice) -> str:
+    """Human-readable dump of an FFS image."""
+    superblock = FfsSuperBlock.unpack(
+        device.read(0, 16 * 1024 // device.sector_size)
+    )
+    config = FfsConfig(
+        block_size=superblock.block_size,
+        cg_bytes=superblock.cg_bytes,
+        inodes_per_cg=superblock.inodes_per_cg,
+        maxbpg=superblock.maxbpg,
+    )
+    layout = FfsLayout.for_device(config, device.total_bytes)
+    lines = [
+        "FFS image",
+        f"  block size       {fmt_bytes(superblock.block_size)}",
+        f"  cylinder groups  {layout.num_groups} x "
+        f"{fmt_bytes(superblock.cg_bytes)}",
+        f"  inodes           {layout.max_inodes}",
+    ]
+    total_free_blocks = 0
+    total_free_inodes = 0
+    for cg in range(layout.num_groups):
+        raw = _read_block(device, layout.cg_header_addr(cg), config.block_size)
+        try:
+            group = CylinderGroup.unpack(config, raw)
+        except CorruptionError:
+            lines.append(f"  cg {cg}: header unreadable (run fsck)")
+            continue
+        total_free_blocks += group.blocks.free_count
+        total_free_inodes += group.inodes.free_count
+        lines.append(
+            f"  cg {cg}: {group.inodes.used_count}/{group.inodes.nbits} "
+            f"inodes, {group.blocks.used_count}/{group.blocks.nbits} "
+            f"data blocks used"
+        )
+    lines.append(
+        f"  free             {fmt_bytes(total_free_blocks * config.block_size)} "
+        f"data, {total_free_inodes} inodes"
+    )
+    return "\n".join(lines)
+
+
+def describe_image(device: SectorDevice) -> str:
+    """Dump whichever file system the image holds."""
+    kind = identify(device)
+    if kind == "lfs":
+        return describe_lfs(device)
+    if kind == "ffs":
+        return describe_ffs(device)
+    return "unrecognized image (no LFS or FFS superblock at sector 0)"

@@ -1,0 +1,60 @@
+"""Path string handling.
+
+All paths are absolute, ``/``-separated, and resolved against the file
+system root; ``.`` and ``..`` components are normalized away lexically
+(there are no symlinks in this reproduction, so lexical resolution is
+exact).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import InvalidArgumentError
+
+
+def split_path(path: str) -> List[str]:
+    """Split an absolute path into normalized components.
+
+    >>> split_path("/a/b/../c//d/.")
+    ['a', 'c', 'd']
+    >>> split_path("/")
+    []
+    """
+    if not path or not path.startswith("/"):
+        raise InvalidArgumentError(f"path must be absolute: {path!r}")
+    components: List[str] = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            if components:
+                components.pop()
+            continue
+        components.append(part)
+    return components
+
+
+def normalize(path: str) -> str:
+    """Canonical form of an absolute path."""
+    return "/" + "/".join(split_path(path))
+
+
+def join(base: str, *parts: str) -> str:
+    """Join path fragments onto an absolute base and normalize."""
+    pieces = [base.rstrip("/")]
+    for part in parts:
+        pieces.append(part.strip("/"))
+    return normalize("/".join(pieces) or "/")
+
+
+def dirname_basename(path: str) -> Tuple[str, str]:
+    """Split into (parent directory path, final component).
+
+    >>> dirname_basename("/a/b/c")
+    ('/a/b', 'c')
+    """
+    components = split_path(path)
+    if not components:
+        raise InvalidArgumentError("the root directory has no parent")
+    return "/" + "/".join(components[:-1]), components[-1]

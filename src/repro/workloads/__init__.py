@@ -1,0 +1,25 @@
+"""Workload generators for the paper's benchmarks.
+
+Every workload runs against the abstract
+:class:`repro.vfs.interface.StorageManager`, so the same code exercises
+LFS and the FFS baseline.
+"""
+
+from repro.workloads.cleaning import CleaningPoint, run_cleaning_rate_test
+from repro.workloads.generator import FileSizeSampler, ZipfPicker
+from repro.workloads.largefile import LargeFileResult, run_large_file_test
+from repro.workloads.office import OfficeResult, run_office_workload
+from repro.workloads.smallfile import SmallFileResult, run_small_file_test
+
+__all__ = [
+    "run_small_file_test",
+    "SmallFileResult",
+    "run_large_file_test",
+    "LargeFileResult",
+    "run_cleaning_rate_test",
+    "CleaningPoint",
+    "run_office_workload",
+    "OfficeResult",
+    "FileSizeSampler",
+    "ZipfPicker",
+]

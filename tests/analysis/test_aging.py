@@ -1,0 +1,82 @@
+"""Tests for the long-run aging study."""
+
+import pytest
+
+from repro.analysis.aging import AgingStudy, run_aging_study
+from repro.lfs.filesystem import LogStructuredFS
+from repro.workloads.office import OfficeState, run_office_workload
+from tests.conftest import small_lfs_config
+
+
+class TestOfficeState:
+    def test_population_carries_over(self, lfs):
+        state = OfficeState()
+        run_office_workload(
+            lfs, operations=200, target_population=50, state=state
+        )
+        live_after_first = len(state.live)
+        result = run_office_workload(
+            lfs, operations=200, target_population=50, seed=1, state=state
+        )
+        # Population stayed bounded (files kept churning, not piling up).
+        assert result.final_live_files <= 50
+        assert state.counter > 0
+        assert live_after_first > 0
+
+    def test_no_name_collisions_across_epochs(self, lfs):
+        state = OfficeState()
+        for epoch in range(3):
+            run_office_workload(
+                lfs,
+                operations=150,
+                target_population=40,
+                seed=epoch,
+                state=state,
+            )
+        # Every live file is readable (no create-over-existing errors).
+        for name in state.live:
+            assert lfs.exists(name)
+
+
+class TestAgingStudy:
+    @pytest.fixture
+    def study_and_fs(self, disk, cpu):
+        fs = LogStructuredFS.mkfs(disk, cpu, small_lfs_config())
+        study = run_aging_study(
+            fs, epochs=4, operations_per_epoch=400, target_population=120
+        )
+        return study, fs
+
+    def test_samples_per_epoch(self, study_and_fs):
+        study, _fs = study_and_fs
+        assert len(study.samples) == 4
+        assert [sample.epoch for sample in study.samples] == [0, 1, 2, 3]
+        totals = [sample.operations_total for sample in study.samples]
+        assert totals == sorted(totals)
+
+    def test_metrics_sane(self, study_and_fs):
+        study, fs = study_and_fs
+        for sample in study.samples:
+            assert sample.write_cost > 0
+            assert 0.0 <= sample.cleaner_write_fraction <= 1.0
+            assert 0.0 <= sample.live_fraction <= 1.0
+            assert sample.clean_segments <= fs.layout.num_segments
+            assert len(sample.utilization_histogram) == 10
+
+    def test_fs_still_consistent_after_aging(self, study_and_fs):
+        from repro.lfs.verify import verify_lfs
+
+        _study, fs = study_and_fs
+        fs.unmount()
+        report = verify_lfs(fs.disk.device)
+        assert report.consistent, report.errors
+
+    def test_steady_state_helpers(self):
+        study = AgingStudy()
+        assert not study.converged()
+        assert study.steady_state_write_cost() == 0.0
+
+    def test_write_cost_bounded(self, study_and_fs):
+        # The paper's open question: does cleaning overhead stay sane?
+        study, _fs = study_and_fs
+        assert study.steady_state_write_cost() < 4.0

@@ -1,0 +1,92 @@
+"""Unit tests for write-back triggers (§4.3.5)."""
+
+import pytest
+
+from repro.cache.block_cache import BlockCache
+from repro.cache.writeback import (
+    WritebackConfig,
+    WritebackMonitor,
+    WritebackReason,
+)
+from repro.common.inode import BlockKey, BlockKind
+from repro.sim.clock import SimClock
+
+BS = 4096
+
+
+def key(index: int) -> BlockKey:
+    return BlockKey(1, BlockKind.DATA, index)
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def cache():
+    return BlockCache(capacity_bytes=8 * BS, block_size=BS)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        # §4.3.5: "The current LFS implementation uses a threshold of
+        # 30 seconds."
+        assert WritebackConfig().age_threshold == 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WritebackConfig(age_threshold=-1.0)
+        with pytest.raises(ValueError):
+            WritebackConfig(dirty_high_fraction=0.0)
+        with pytest.raises(ValueError):
+            WritebackConfig(dirty_high_fraction=1.5)
+
+
+class TestTriggers:
+    def test_quiet_cache_no_trigger(self, cache, clock):
+        monitor = WritebackMonitor(cache, clock)
+        assert monitor.check() is None
+
+    def test_cache_full_trigger(self, cache, clock):
+        monitor = WritebackMonitor(
+            cache, clock, WritebackConfig(dirty_high_fraction=0.5)
+        )
+        for i in range(4):  # 4 of 8 blocks dirty = the threshold
+            cache.insert(key(i), bytearray(BS), dirty=True, now=0.0)
+        assert monitor.check() is WritebackReason.CACHE_FULL
+
+    def test_below_threshold_no_trigger(self, cache, clock):
+        monitor = WritebackMonitor(
+            cache, clock, WritebackConfig(dirty_high_fraction=0.5)
+        )
+        for i in range(3):
+            cache.insert(key(i), bytearray(BS), dirty=True, now=0.0)
+        assert monitor.check() is None
+
+    def test_age_trigger(self, cache, clock):
+        monitor = WritebackMonitor(
+            cache, clock, WritebackConfig(age_threshold=30.0)
+        )
+        cache.insert(key(0), bytearray(BS), dirty=True, now=clock.now())
+        clock.advance(29.0)
+        assert monitor.check() is None
+        clock.advance(1.5)
+        assert monitor.check() is WritebackReason.AGE
+
+    def test_age_trigger_clears_after_clean(self, cache, clock):
+        monitor = WritebackMonitor(cache, clock)
+        cache.insert(key(0), bytearray(BS), dirty=True, now=clock.now())
+        clock.advance(31.0)
+        assert monitor.check() is WritebackReason.AGE
+        cache.mark_clean(key(0))
+        assert monitor.check() is None
+
+    def test_trigger_counters(self, cache, clock):
+        monitor = WritebackMonitor(cache, clock)
+        cache.insert(key(0), bytearray(BS), dirty=True, now=clock.now())
+        clock.advance(31.0)
+        monitor.check()
+        monitor.note_explicit(WritebackReason.SYNC)
+        assert monitor.triggers[WritebackReason.AGE] == 1
+        assert monitor.triggers[WritebackReason.SYNC] == 1

@@ -1,0 +1,117 @@
+"""Unit tests for the directory block format."""
+
+import pytest
+
+from repro.common.directory import (
+    DirectoryBlock,
+    MAX_NAME_LEN,
+    entry_size,
+    validate_name,
+)
+from repro.errors import CorruptionError, InvalidArgumentError
+
+BS = 1024
+
+
+class TestValidateName:
+    def test_accepts_normal_names(self):
+        validate_name("file.txt")
+        validate_name("ünïcode")
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidArgumentError):
+            validate_name("")
+
+    def test_rejects_slash(self):
+        with pytest.raises(InvalidArgumentError):
+            validate_name("a/b")
+
+    def test_rejects_dot_names(self):
+        with pytest.raises(InvalidArgumentError):
+            validate_name(".")
+        with pytest.raises(InvalidArgumentError):
+            validate_name("..")
+
+    def test_rejects_too_long(self):
+        with pytest.raises(InvalidArgumentError):
+            validate_name("x" * (MAX_NAME_LEN + 1))
+
+    def test_accepts_max_length(self):
+        validate_name("x" * MAX_NAME_LEN)
+
+
+class TestEncodeDecode:
+    def test_empty_block(self):
+        block = DirectoryBlock(BS, [])
+        assert block.encode() == b"\x00" * BS
+        assert DirectoryBlock.decode(b"\x00" * BS, BS).entries == []
+
+    def test_roundtrip(self):
+        block = DirectoryBlock(BS, [])
+        block.add("alpha", 10)
+        block.add("βeta", 20)
+        decoded = DirectoryBlock.decode(block.encode(), BS)
+        assert decoded.entries == [("alpha", 10), ("βeta", 20)]
+
+    def test_decode_rejects_oversized(self):
+        with pytest.raises(CorruptionError):
+            DirectoryBlock.decode(b"\x00" * (BS + 1), BS)
+
+    def test_decode_rejects_garbage_header(self):
+        data = b"\x05\x00\x00\x00\x00\x00" + b"\x00" * 100  # inum 5, len 0
+        with pytest.raises(CorruptionError):
+            DirectoryBlock.decode(data, BS)
+
+    def test_decode_rejects_truncated_name(self):
+        data = b"\x05\x00\x00\x00\xff\x00" + b"a" * 10
+        with pytest.raises(CorruptionError):
+            DirectoryBlock.decode(data, BS)
+
+
+class TestMutation:
+    def test_lookup(self):
+        block = DirectoryBlock(BS, [("f", 3)])
+        assert block.lookup("f") == 3
+        assert block.lookup("g") is None
+
+    def test_add_rejects_space_overflow(self):
+        block = DirectoryBlock(60, [])  # room for 3 x 16-byte entries
+        block.add("aaaaaaaaaa", 1)
+        block.add("bbbbbbbbbb", 2)
+        block.add("cccccccccc", 3)
+        with pytest.raises(InvalidArgumentError):
+            block.add("dddddddddd", 4)
+
+    def test_add_rejects_bad_inum(self):
+        block = DirectoryBlock(BS, [])
+        with pytest.raises(InvalidArgumentError):
+            block.add("ok", 0)
+
+    def test_remove_returns_inum(self):
+        block = DirectoryBlock(BS, [("a", 1), ("b", 2)])
+        assert block.remove("a") == 1
+        assert block.entries == [("b", 2)]
+
+    def test_remove_missing_raises(self):
+        block = DirectoryBlock(BS, [])
+        with pytest.raises(InvalidArgumentError):
+            block.remove("nope")
+
+    def test_space_accounting(self):
+        block = DirectoryBlock(BS, [])
+        assert block.free_bytes() == BS
+        block.add("abc", 1)
+        assert block.used_bytes() == entry_size("abc")
+        assert block.free_bytes() == BS - entry_size("abc")
+
+    def test_has_room_for(self):
+        block = DirectoryBlock(entry_size("abc"), [])
+        assert block.has_room_for("abc")
+        assert not block.has_room_for("abcd")
+
+    def test_as_dict(self):
+        block = DirectoryBlock(BS, [("x", 1), ("y", 2)])
+        assert block.as_dict() == {"x": 1, "y": 2}
+
+    def test_entry_size_utf8(self):
+        assert entry_size("é") == 6 + 2  # header + two UTF-8 bytes

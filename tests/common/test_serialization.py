@@ -1,0 +1,97 @@
+"""Unit tests for binary packing helpers."""
+
+import pytest
+
+from repro.common.serialization import (
+    Packer,
+    Unpacker,
+    checksum,
+    iter_u64,
+    pack_u64_array,
+    pad_block,
+)
+from repro.errors import CorruptionError
+
+
+class TestPackerUnpacker:
+    def test_roundtrip_all_field_types(self):
+        data = (
+            Packer()
+            .u8(200)
+            .u16(65000)
+            .u32(4_000_000_000)
+            .u64(2**63)
+            .f64(3.14159)
+            .string("héllo")
+            .raw(b"tail")
+            .bytes()
+        )
+        unpacker = Unpacker(data)
+        assert unpacker.u8() == 200
+        assert unpacker.u16() == 65000
+        assert unpacker.u32() == 4_000_000_000
+        assert unpacker.u64() == 2**63
+        assert unpacker.f64() == pytest.approx(3.14159)
+        assert unpacker.string() == "héllo"
+        assert unpacker.raw(4) == b"tail"
+        assert unpacker.remaining() == 0
+
+    def test_truncated_read_raises(self):
+        unpacker = Unpacker(b"\x01\x02")
+        with pytest.raises(CorruptionError):
+            unpacker.u32()
+
+    def test_offset_tracking(self):
+        unpacker = Unpacker(b"\x01\x02\x03\x04")
+        unpacker.u16()
+        assert unpacker.offset == 2
+        assert unpacker.remaining() == 2
+
+    def test_packer_len(self):
+        packer = Packer().u32(1).u64(2)
+        assert len(packer) == 12
+
+    def test_string_too_long(self):
+        with pytest.raises(ValueError):
+            Packer().string("x" * 70000)
+
+    def test_unpacker_with_offset(self):
+        unpacker = Unpacker(b"\x00\x00\x07\x00\x00\x00", offset=2)
+        assert unpacker.u32() == 7
+
+
+class TestChecksum:
+    def test_deterministic(self):
+        assert checksum(b"abc") == checksum(b"abc")
+
+    def test_differs_on_change(self):
+        assert checksum(b"abc") != checksum(b"abd")
+
+    def test_fits_u32(self):
+        assert 0 <= checksum(b"anything at all") <= 0xFFFFFFFF
+
+
+class TestPadBlock:
+    def test_pads_to_size(self):
+        assert pad_block(b"ab", 8) == b"ab\x00\x00\x00\x00\x00\x00"
+
+    def test_exact_fit(self):
+        assert pad_block(b"abcd", 4) == b"abcd"
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            pad_block(b"abcde", 4)
+
+
+class TestU64Arrays:
+    def test_roundtrip(self):
+        values = [0, 1, 2**40, 2**64 - 1]
+        assert list(iter_u64(pack_u64_array(values))) == values
+
+    def test_empty(self):
+        assert list(iter_u64(b"")) == []
+        assert pack_u64_array([]) == b""
+
+    def test_bad_length_raises(self):
+        with pytest.raises(CorruptionError):
+            list(iter_u64(b"\x00" * 7))

@@ -1,0 +1,109 @@
+"""Unit tests for trace capture and rendering."""
+
+import pytest
+
+from repro.disk.trace import AccessTier, TraceEvent, TraceRecorder
+
+
+def make_event(
+    sector=0,
+    nsectors=8,
+    is_write=True,
+    sync=False,
+    tier=AccessTier.FAR,
+    label="x",
+    issue=0.0,
+    done=0.01,
+) -> TraceEvent:
+    return TraceEvent(
+        issue_time=issue,
+        complete_time=done,
+        is_write=is_write,
+        sector=sector,
+        nsectors=nsectors,
+        nbytes=nsectors * 512,
+        sync=sync,
+        tier=tier,
+        label=label,
+    )
+
+
+class TestRecorder:
+    def test_record_and_filter(self):
+        trace = TraceRecorder()
+        trace.record(make_event(is_write=True, sync=True))
+        trace.record(make_event(is_write=True, sync=False))
+        trace.record(make_event(is_write=False))
+        assert len(trace.events) == 3
+        assert len(trace.writes()) == 2
+        assert len(trace.reads()) == 1
+        assert len(trace.sync_writes()) == 1
+
+    def test_disabled_recorder_drops(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(make_event())
+        assert trace.events == []
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(make_event())
+        trace.clear()
+        assert trace.events == []
+
+    def test_random_requests(self):
+        trace = TraceRecorder()
+        trace.record(make_event(tier=AccessTier.SEQUENTIAL))
+        trace.record(make_event(tier=AccessTier.NEAR))
+        trace.record(make_event(tier=AccessTier.FAR))
+        assert len(trace.random_requests()) == 2
+
+    def test_span(self):
+        events = [
+            make_event(issue=1.0, done=2.0),
+            make_event(issue=3.0, done=5.0),
+        ]
+        assert TraceRecorder.span(events) == pytest.approx(4.0)
+        assert TraceRecorder.span([]) is None
+
+
+class TestRendering:
+    def test_table_contains_labels(self):
+        trace = TraceRecorder()
+        trace.record(make_event(label="inode write", sync=True))
+        table = trace.table()
+        assert "inode write" in table
+        assert "sync" in table
+
+    def test_table_only_writes(self):
+        trace = TraceRecorder()
+        trace.record(make_event(is_write=False, label="a read"))
+        assert "a read" not in trace.table(only_writes=True)
+
+    def test_disk_image_marks_sync_and_async(self):
+        trace = TraceRecorder()
+        trace.record(make_event(sector=0, sync=True))
+        trace.record(make_event(sector=500, sync=False))
+        image = trace.disk_image(num_sectors=1000, width=10)
+        assert image[0] == "S"
+        assert image[5] == "w"
+        assert image.count(".") == 8
+
+    def test_disk_image_sync_wins_over_async(self):
+        trace = TraceRecorder()
+        trace.record(make_event(sector=0, sync=False))
+        trace.record(make_event(sector=0, sync=True))
+        image = trace.disk_image(num_sectors=1000, width=10)
+        assert image[0] == "S"
+
+    def test_disk_image_validates_args(self):
+        trace = TraceRecorder()
+        with pytest.raises(ValueError):
+            trace.disk_image(0)
+
+    def test_event_describe(self):
+        event = make_event(label="hello", sync=True)
+        text = event.describe()
+        assert "write" in text and "sync" in text and "hello" in text
+
+    def test_duration(self):
+        assert make_event(issue=1.0, done=1.5).duration == pytest.approx(0.5)

@@ -1,0 +1,110 @@
+"""Unit tests for FFS cylinder-group address arithmetic."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.ffs.config import FfsConfig, FfsLayout
+from repro.units import KIB, MIB
+
+
+@pytest.fixture
+def layout() -> FfsLayout:
+    config = FfsConfig(cg_bytes=8 * MIB, inodes_per_cg=256)
+    return FfsLayout.for_device(config, 64 * MIB)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        # §5: "An eight-kilobyte block size was used by SunOS".
+        assert FfsConfig().block_size == 8 * KIB
+
+    def test_derived_quantities(self):
+        config = FfsConfig(cg_bytes=8 * MIB, inodes_per_cg=256)
+        assert config.cg_blocks == 1024
+        assert config.inodes_per_block == 8 * KIB // 160
+        assert config.inode_table_blocks == -(-256 // config.inodes_per_block)
+        assert (
+            config.data_blocks_per_cg
+            == config.cg_blocks - 1 - config.inode_table_blocks
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            FfsConfig(block_size=1000)
+        with pytest.raises(InvalidArgumentError):
+            FfsConfig(cg_bytes=8 * MIB + 1)
+        with pytest.raises(InvalidArgumentError):
+            FfsConfig(inodes_per_cg=4)
+        with pytest.raises(InvalidArgumentError):
+            FfsConfig(maxbpg=0)
+
+
+class TestGroups:
+    def test_group_count(self, layout):
+        # 64 MB device: block 0 is the superblock, so 7 full 8 MB groups.
+        assert layout.num_groups == 7
+        assert layout.max_inodes == 7 * 256
+
+    def test_group_bases_disjoint(self, layout):
+        bases = [layout.cg_base(cg) for cg in range(layout.num_groups)]
+        assert bases[0] == 1
+        for a, b in zip(bases, bases[1:]):
+            assert b - a == layout.config.cg_blocks
+
+    def test_out_of_range_group(self, layout):
+        with pytest.raises(InvalidArgumentError):
+            layout.cg_base(7)
+
+
+class TestInodeAddressing:
+    def test_location_roundtrip(self, layout):
+        for inum in (0, 1, 255, 256, 1000, layout.max_inodes - 1):
+            addr, slot = layout.inode_location(inum)
+            table_index = layout.inode_table_block_index(inum)
+            assert layout.inode_table_block_addr(table_index) == addr
+            assert inum in layout.inums_of_table_block(table_index)
+            assert 0 <= slot < layout.config.inodes_per_block
+
+    def test_locations_unique(self, layout):
+        seen = set()
+        for inum in range(layout.max_inodes):
+            location = layout.inode_location(inum)
+            assert location not in seen
+            seen.add(location)
+
+    def test_cg_of_inum(self, layout):
+        assert layout.cg_of_inum(0) == 0
+        assert layout.cg_of_inum(255) == 0
+        assert layout.cg_of_inum(256) == 1
+        with pytest.raises(InvalidArgumentError):
+            layout.cg_of_inum(layout.max_inodes)
+
+    def test_table_blocks_inside_group(self, layout):
+        for inum in range(0, layout.max_inodes, 97):
+            addr, _slot = layout.inode_location(inum)
+            cg = layout.cg_of_inum(inum)
+            assert layout.cg_base(cg) < addr < layout.data_start(cg)
+
+
+class TestDataAddressing:
+    def test_data_range(self, layout):
+        for cg in range(layout.num_groups):
+            start, end = layout.data_start(cg), layout.data_end(cg)
+            assert end - start == layout.config.data_blocks_per_cg
+            assert layout.is_data_block(start)
+            assert layout.is_data_block(end - 1)
+            assert not layout.is_data_block(layout.cg_header_addr(cg))
+
+    def test_data_index_roundtrip(self, layout):
+        addr = layout.data_start(3) + 17
+        assert layout.data_index(addr) == (3, 17)
+
+    def test_non_data_block_rejected(self, layout):
+        with pytest.raises(InvalidArgumentError):
+            layout.data_index(layout.cg_base(0))
+
+    def test_cg_of_block(self, layout):
+        assert layout.cg_of_block(1) == 0
+        assert layout.cg_of_block(1 + 1024) == 1
+        with pytest.raises(InvalidArgumentError):
+            layout.cg_of_block(0)

@@ -1,0 +1,118 @@
+"""Smoke tests for the experiment harness (small parameters).
+
+The benchmarks run the full-size experiments; these tests pin the
+harness's structure and the direction of each paper claim at a scale
+that keeps the unit suite fast.
+"""
+
+import pytest
+
+from repro.harness import (
+    ablation_cleaner_policy,
+    fig1_fig2_creation_traces,
+    fig3_small_file,
+    fig5_cleaning_rate,
+    new_rig,
+    recovery_comparison,
+    sec31_cpu_scaling,
+)
+from repro.units import KIB, MIB
+
+
+class TestRig:
+    def test_builds_both_kinds(self):
+        for kind in ("lfs", "ffs"):
+            rig = new_rig(kind, total_bytes=48 * MIB)
+            rig.fs.write_file("/x", b"hello")
+            assert rig.fs.read_file("/x") == b"hello"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            new_rig("zfs")
+
+    def test_speed_factor_plumbs_through(self):
+        rig = new_rig("lfs", total_bytes=48 * MIB, speed_factor=4.0)
+        assert rig.cpu.speed_factor == 4.0
+
+
+class TestCreationTraces:
+    def test_paper_shape(self):
+        results = fig1_fig2_creation_traces(total_bytes=48 * MIB)
+        assert results["ffs"].sync_writes == 4
+        assert results["ffs"].write_requests >= 8
+        assert results["lfs"].write_requests == 1
+        assert results["lfs"].sync_writes == 0
+
+    def test_trace_tables_render(self):
+        results = fig1_fig2_creation_traces(total_bytes=48 * MIB)
+        assert "sector" in results["ffs"].table
+        assert len(results["lfs"].disk_image) == 72
+
+
+class TestSmallFileDirection:
+    def test_lfs_beats_ffs_on_create_delete(self):
+        results = fig3_small_file(
+            num_files=300, file_size=1 * KIB, total_bytes=64 * MIB
+        )
+        assert (
+            results["lfs"].create_per_second
+            > 3 * results["ffs"].create_per_second
+        )
+        assert (
+            results["lfs"].delete_per_second
+            > 3 * results["ffs"].delete_per_second
+        )
+
+
+class TestCleaningSweepDirection:
+    def test_rate_decreases_with_utilization(self):
+        points = fig5_cleaning_rate(
+            (0.2, 0.6), total_bytes=48 * MIB, fill_segments=6
+        )
+        from repro.lfs.config import LfsConfig
+
+        seg = LfsConfig().segment_size
+        low, high = points
+        assert low[0].clean_kb_per_second(seg) > high[0].clean_kb_per_second(
+            seg
+        )
+
+
+class TestCpuScalingDirection:
+    def test_lfs_scales_ffs_does_not(self):
+        points = sec31_cpu_scaling(
+            (1.0, 8.0), num_files=40, total_bytes=48 * MIB
+        )
+        lfs_speedup = (
+            points[0].lfs_ms_per_create_delete
+            / points[1].lfs_ms_per_create_delete
+        )
+        ffs_speedup = (
+            points[0].ffs_ms_per_create_delete
+            / points[1].ffs_ms_per_create_delete
+        )
+        assert lfs_speedup > 3.0
+        assert ffs_speedup < 2.0
+
+
+class TestRecoveryDirection:
+    def test_lfs_recovers_faster(self):
+        points = recovery_comparison(
+            (60,), total_bytes=48 * MIB, files_after_checkpoint=10
+        )
+        point = points[0]
+        assert point.lfs_recovery_seconds < point.ffs_fsck_seconds
+        assert point.lfs_partials_replayed >= 1
+
+
+class TestPolicyAblation:
+    def test_all_policies_run(self):
+        points = ablation_cleaner_policy(
+            policies=("greedy", "random"),
+            operations=1200,
+            total_bytes=24 * MIB,
+            segment_size=256 * KIB,
+        )
+        assert {point.policy for point in points} == {"greedy", "random"}
+        for point in points:
+            assert point.ops_per_second > 0

@@ -1,0 +1,70 @@
+"""Multiple handles, interleaved operations, and cache coherence."""
+
+import pytest
+
+from repro.errors import StaleHandleError
+
+
+class TestMultipleHandles:
+    def test_two_handles_same_file_see_each_other(self, anyfs):
+        anyfs.write_file("/f", b"0" * 100)
+        a = anyfs.open("/f")
+        b = anyfs.open("/f")
+        a.pwrite(0, b"AAAA")
+        assert b.pread(0, 4) == b"AAAA"
+        b.pwrite(50, b"BB")
+        assert a.pread(50, 2) == b"BB"
+        a.close()
+        b.close()
+
+    def test_size_visible_across_handles(self, anyfs):
+        a = anyfs.create("/f")
+        b = anyfs.open("/f")
+        a.write(b"grow me to here")
+        assert b.size == 15
+        b.truncate(4)
+        assert a.size == 4
+
+    def test_rename_keeps_open_handle_valid(self, anyfs):
+        handle = anyfs.create("/old")
+        handle.write(b"moving")
+        anyfs.rename("/old", "/new")
+        # The handle addresses the inode, not the path.
+        assert handle.pread(0, 6) == b"moving"
+        assert anyfs.read_file("/new") == b"moving"
+
+    def test_overwriting_rename_staleness(self, anyfs):
+        anyfs.write_file("/src", b"winner")
+        doomed = anyfs.create("/dst")
+        doomed.write(b"loser")
+        anyfs.rename("/src", "/dst")
+        with pytest.raises(StaleHandleError):
+            doomed.pread(0, 1)
+        assert anyfs.read_file("/dst") == b"winner"
+
+    def test_interleaved_writes_across_files(self, anyfs):
+        handles = [anyfs.create(f"/f{i}") for i in range(6)]
+        for round_ in range(5):
+            for index, handle in enumerate(handles):
+                handle.write(bytes([index * 10 + round_]) * 500)
+        for handle in handles:
+            handle.close()
+        anyfs.sync()
+        anyfs.flush_caches()
+        for index in range(6):
+            data = anyfs.read_file(f"/f{index}")
+            assert len(data) == 2500
+            for round_ in range(5):
+                chunk = data[round_ * 500 : (round_ + 1) * 500]
+                assert chunk == bytes([index * 10 + round_]) * 500
+
+    def test_sync_between_interleaved_writes(self, anyfs):
+        a = anyfs.create("/a")
+        b = anyfs.create("/b")
+        a.write(b"first half ")
+        anyfs.sync()
+        b.write(b"other file")
+        a.write(b"second half")
+        anyfs.sync()
+        assert anyfs.read_file("/a") == b"first half second half"
+        assert anyfs.read_file("/b") == b"other file"

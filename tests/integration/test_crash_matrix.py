@@ -1,0 +1,172 @@
+"""Crash-consistency matrix: crash at many points, recover, verify.
+
+For LFS the invariant is *prefix consistency*: the recovered state must
+correspond to some prefix of the synced history — checkpointed state at
+minimum, everything synced before the crash at best — and never a
+corrupt in-between.  For FFS the invariant is that fsck always produces
+a mountable, traversable file system.
+"""
+
+import pytest
+
+from repro.errors import FileSystemError, ReproError
+from repro.ffs.filesystem import FastFileSystem
+from repro.ffs.fsck import fsck
+from repro.lfs.filesystem import LogStructuredFS
+from repro.lfs.verify import verify_lfs
+from tests.conftest import small_ffs_config, small_lfs_config
+
+
+def lfs_generations(fs, generations=6, files_per_gen=20):
+    """Write generations of files; sync after each; return history."""
+    history = []
+    for gen in range(generations):
+        for i in range(files_per_gen):
+            fs.write_file(f"/g{gen}_{i}", bytes([gen * 10 + i]) * 1500)
+        if gen == 1:
+            fs.checkpoint()
+        else:
+            fs.sync()
+        history.append(gen)
+    return history
+
+
+class TestLfsCrashMatrix:
+    @pytest.mark.parametrize("crash_after_gen", [0, 1, 2, 4, 5])
+    def test_prefix_consistency(self, disk, cpu, crash_after_gen):
+        fs = LogStructuredFS.mkfs(disk, cpu, small_lfs_config())
+        for gen in range(crash_after_gen + 1):
+            for i in range(20):
+                fs.write_file(f"/g{gen}_{i}", bytes([gen * 10 + i]) * 1500)
+            if gen == 1:
+                fs.checkpoint()
+            else:
+                fs.sync()
+        fs.crash()
+        disk.revive()
+        again = LogStructuredFS.mount(disk, cpu, small_lfs_config())
+        # Everything synced before the crash must be present and exact
+        # (roll-forward recovers synced-but-not-checkpointed data).
+        for gen in range(crash_after_gen + 1):
+            for i in range(20):
+                data = again.read_file(f"/g{gen}_{i}")
+                assert data == bytes([gen * 10 + i]) * 1500
+        # The recovered image satisfies every on-disk invariant.
+        again.unmount()
+        report = verify_lfs(disk.device)
+        assert report.consistent, report.errors
+
+    def test_crash_with_unflushed_cache_loses_only_tail(self, disk, cpu):
+        fs = LogStructuredFS.mkfs(disk, cpu, small_lfs_config())
+        fs.write_file("/synced", b"s" * 2000)
+        fs.sync()
+        fs.write_file("/dirty-only", b"d" * 2000)  # never synced
+        fs.crash()
+        disk.revive()
+        again = LogStructuredFS.mount(disk, cpu, small_lfs_config())
+        assert again.read_file("/synced") == b"s" * 2000
+        assert not again.exists("/dirty-only")
+
+    def test_repeated_crashes(self, disk, cpu):
+        fs = LogStructuredFS.mkfs(disk, cpu, small_lfs_config())
+        survivors = {}
+        for round_ in range(4):
+            name = f"/round{round_}"
+            fs.write_file(name, bytes([round_]) * 1000)
+            fs.sync()
+            survivors[name] = bytes([round_]) * 1000
+            fs.crash()
+            disk.revive()
+            fs = LogStructuredFS.mount(disk, cpu, small_lfs_config())
+            for path, payload in survivors.items():
+                assert fs.read_file(path) == payload
+
+    def test_crash_during_cleaning_pass(self, disk, cpu):
+        config = small_lfs_config()
+        fs = LogStructuredFS.mkfs(disk, cpu, config)
+        kept = []
+        for round_ in range(3):
+            names = []
+            for i in range(120):
+                name = f"/c{round_}_{i}"
+                fs.write_file(name, bytes([(round_ * 60 + i) % 256]) * 4096)
+                names.append(name)
+            fs.sync()
+            for idx, name in enumerate(names):
+                if idx % 2:
+                    fs.unlink(name)
+                else:
+                    kept.append(name)
+        fs.sync()
+        fs.checkpoint()
+        fs.clean_now(fs.layout.num_segments)
+        # Crash immediately after cleaning (which checkpointed).
+        fs.crash()
+        disk.revive()
+        again = LogStructuredFS.mount(disk, cpu, config)
+        for name in kept:
+            assert len(again.read_file(name)) == 4096
+        again.unmount()
+        report = verify_lfs(disk.device)
+        assert report.consistent, report.errors
+
+
+class TestFfsCrashMatrix:
+    @pytest.mark.parametrize("sync_before_crash", [True, False])
+    def test_fsck_always_yields_mountable_fs(self, disk, cpu, sync_before_crash):
+        fs = FastFileSystem.mkfs(disk, cpu, small_ffs_config())
+        fs.mkdir("/d")
+        for i in range(25):
+            fs.write_file(f"/d/f{i}", bytes([i]) * 2500)
+        if sync_before_crash:
+            fs.sync()
+        fs.write_file("/d/straggler", b"s" * 8192)
+        fs.crash()
+        disk.revive()
+        fsck(disk)
+        again = FastFileSystem.mount(disk, cpu, small_ffs_config())
+        # Walk the whole tree: no exceptions, no corrupt structures.
+        for name in again.listdir("/d"):
+            again.stat(f"/d/{name}")
+            again.read_file(f"/d/{name}")
+        if sync_before_crash:
+            for i in range(25):
+                assert again.read_file(f"/d/f{i}") == bytes([i]) * 2500
+
+    def test_synced_data_survives_crash(self, disk, cpu):
+        fs = FastFileSystem.mkfs(disk, cpu, small_ffs_config())
+        fs.write_file("/keep", b"k" * 5000)
+        fs.sync()
+        fs.crash()
+        disk.revive()
+        fsck(disk)
+        again = FastFileSystem.mount(disk, cpu, small_ffs_config())
+        assert again.read_file("/keep") == b"k" * 5000
+
+    def test_lfs_recovery_faster_than_fsck(self, clock, cpu):
+        """§4.4's punchline, as an invariant."""
+        from repro.disk.geometry import wren_iv
+        from repro.disk.sim_disk import SimDisk
+        from repro.units import MIB
+
+        disk_l = SimDisk(wren_iv(64 * MIB), clock)
+        lfs = LogStructuredFS.mkfs(disk_l, cpu, small_lfs_config())
+        disk_f = SimDisk(wren_iv(64 * MIB), clock)
+        ffs = FastFileSystem.mkfs(disk_f, cpu, small_ffs_config())
+        for fs in (lfs, ffs):
+            for i in range(60):
+                fs.write_file(f"/f{i}", bytes([i]) * 3000)
+            fs.sync()
+        if hasattr(lfs, "checkpoint"):
+            lfs.checkpoint()
+        lfs.crash()
+        ffs.crash()
+        disk_l.revive()
+        disk_f.revive()
+        start = clock.now()
+        LogStructuredFS.mount(disk_l, cpu, small_lfs_config())
+        lfs_time = clock.now() - start
+        start = clock.now()
+        fsck(disk_f)
+        fsck_time = clock.now() - start
+        assert lfs_time < fsck_time / 5

@@ -1,0 +1,130 @@
+"""Both storage managers must expose identical file semantics.
+
+A deterministic pseudo-random operation stream is applied to LFS, FFS
+and an in-memory model; afterwards (and after remount) all three must
+agree on the namespace and every file's contents.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import FileSystemError
+from repro.ffs.filesystem import FastFileSystem
+from repro.lfs.filesystem import LogStructuredFS
+from tests.conftest import small_ffs_config, small_lfs_config
+
+
+class ModelFs:
+    """Dictionary model of a file system namespace."""
+
+    def __init__(self):
+        self.files = {}  # path -> bytes
+        self.dirs = {"/"}
+
+    def parent_ok(self, path):
+        parent = path.rsplit("/", 1)[0] or "/"
+        return parent in self.dirs
+
+
+def apply_ops(fs, model, seed, n_ops=300):
+    rng = random.Random(seed)
+    for step in range(n_ops):
+        op = rng.choice(
+            ["create", "write", "append", "delete", "mkdir", "overwrite", "truncate"]
+        )
+        if op == "mkdir":
+            name = f"/dir{rng.randrange(8)}"
+            if name in model.dirs or name in model.files:
+                continue
+            fs.mkdir(name)
+            model.dirs.add(name)
+        elif op == "create":
+            parent = rng.choice(sorted(model.dirs))
+            name = f"{parent.rstrip('/')}/f{rng.randrange(40)}"
+            if name in model.files or name in model.dirs:
+                continue
+            size = rng.randrange(0, 20000)
+            payload = bytes([rng.randrange(256)]) * size
+            fs.write_file(name, payload)
+            model.files[name] = payload
+        elif op in ("write", "overwrite") and model.files:
+            name = rng.choice(sorted(model.files))
+            size = rng.randrange(0, 30000)
+            payload = bytes([rng.randrange(256)]) * size
+            fs.write_file(name, payload)
+            model.files[name] = payload
+        elif op == "append" and model.files:
+            name = rng.choice(sorted(model.files))
+            extra = bytes([rng.randrange(256)]) * rng.randrange(1, 5000)
+            with fs.open(name) as handle:
+                handle.pwrite(len(model.files[name]), extra)
+            model.files[name] += extra
+        elif op == "truncate" and model.files:
+            name = rng.choice(sorted(model.files))
+            new_size = rng.randrange(0, len(model.files[name]) + 1)
+            with fs.open(name) as handle:
+                handle.truncate(new_size)
+            model.files[name] = model.files[name][:new_size]
+        elif op == "delete" and model.files:
+            name = rng.choice(sorted(model.files))
+            fs.unlink(name)
+            del model.files[name]
+
+
+def verify(fs, model):
+    for name, payload in model.files.items():
+        assert fs.read_file(name) == payload, name
+    for dirname in model.dirs:
+        expected = sorted(
+            {
+                path[len(dirname) :].lstrip("/").split("/")[0]
+                for path in (set(model.files) | model.dirs - {"/"})
+                if path != dirname
+                and path.startswith(dirname.rstrip("/") + "/")
+            }
+        )
+        assert fs.listdir(dirname) == expected, dirname
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_lfs_matches_model(disk, cpu, seed):
+    fs = LogStructuredFS.mkfs(disk, cpu, small_lfs_config())
+    model = ModelFs()
+    apply_ops(fs, model, seed)
+    verify(fs, model)
+    fs.unmount()
+    again = LogStructuredFS.mount(disk, cpu, small_lfs_config())
+    verify(again, model)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_ffs_matches_model(disk, cpu, seed):
+    fs = FastFileSystem.mkfs(disk, cpu, small_ffs_config())
+    model = ModelFs()
+    apply_ops(fs, model, seed)
+    verify(fs, model)
+    fs.unmount()
+    again = FastFileSystem.mount(disk, cpu, small_ffs_config())
+    verify(again, model)
+
+
+def test_both_systems_agree(clock, cpu):
+    """The same op stream produces the same observable state on both."""
+    from repro.disk.geometry import wren_iv
+    from repro.disk.sim_disk import SimDisk
+    from repro.units import MIB
+
+    lfs = LogStructuredFS.mkfs(
+        SimDisk(wren_iv(64 * MIB), clock), cpu, small_lfs_config()
+    )
+    ffs = FastFileSystem.mkfs(
+        SimDisk(wren_iv(64 * MIB), clock), cpu, small_ffs_config()
+    )
+    model_a, model_b = ModelFs(), ModelFs()
+    apply_ops(lfs, model_a, seed=99)
+    apply_ops(ffs, model_b, seed=99)
+    assert model_a.files.keys() == model_b.files.keys()
+    for name in model_a.files:
+        assert lfs.read_file(name) == ffs.read_file(name)
+    assert lfs.listdir("/") == ffs.listdir("/")

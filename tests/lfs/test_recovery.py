@@ -1,0 +1,172 @@
+"""Crash-recovery tests: checkpoint mount and roll-forward (§4.4)."""
+
+import pytest
+
+from repro.lfs.config import LfsConfig
+from repro.lfs.filesystem import LogStructuredFS
+from tests.conftest import small_lfs_config
+
+
+def remount(lfs, roll_forward=True):
+    config = small_lfs_config(roll_forward=roll_forward)
+    return LogStructuredFS.mount(lfs.disk, lfs.cpu, config)
+
+
+def crash_and_revive(lfs):
+    lfs.crash()
+    lfs.disk.revive()
+
+
+class TestCheckpointOnlyRecovery:
+    def test_state_at_checkpoint_recovered(self, lfs):
+        lfs.write_file("/kept", b"checkpointed")
+        lfs.checkpoint()
+        crash_and_revive(lfs)
+        again = remount(lfs, roll_forward=False)
+        assert again.read_file("/kept") == b"checkpointed"
+
+    def test_writes_after_checkpoint_lost_without_roll_forward(self, lfs):
+        lfs.checkpoint()
+        lfs.write_file("/lost", b"too late")
+        lfs.sync()
+        crash_and_revive(lfs)
+        again = remount(lfs, roll_forward=False)
+        assert not again.exists("/lost")
+        assert again.last_recovery.partials_applied == 0
+
+    def test_unsynced_data_lost(self, lfs):
+        # §4.4.1: "if the system crashes without writing the cache to
+        # disk, any changes made ... since the last checkpoint will be
+        # lost."
+        lfs.checkpoint()
+        lfs.write_file("/in-cache-only", b"x")
+        crash_and_revive(lfs)
+        again = remount(lfs)
+        assert not again.exists("/in-cache-only")
+
+
+class TestRollForward:
+    def test_synced_writes_recovered(self, lfs):
+        lfs.checkpoint()
+        lfs.write_file("/after1", b"A" * 5000)
+        lfs.write_file("/after2", b"B" * 100)
+        lfs.sync()
+        crash_and_revive(lfs)
+        again = remount(lfs)
+        assert again.read_file("/after1") == b"A" * 5000
+        assert again.read_file("/after2") == b"B" * 100
+        assert again.last_recovery.partials_applied >= 1
+
+    def test_deletes_recovered(self, lfs):
+        lfs.write_file("/doomed", b"bye")
+        lfs.checkpoint()
+        lfs.unlink("/doomed")
+        lfs.sync()
+        crash_and_revive(lfs)
+        again = remount(lfs)
+        assert not again.exists("/doomed")
+
+    def test_overwrites_recovered(self, lfs):
+        lfs.write_file("/f", b"old" * 1000)
+        lfs.checkpoint()
+        lfs.write_file("/f", b"new" * 1000)
+        lfs.sync()
+        crash_and_revive(lfs)
+        again = remount(lfs)
+        assert again.read_file("/f") == b"new" * 1000
+
+    def test_multiple_flushes_recovered(self, lfs):
+        lfs.checkpoint()
+        for i in range(5):
+            lfs.write_file(f"/gen{i}", bytes([i]) * 2000)
+            lfs.sync()
+        crash_and_revive(lfs)
+        again = remount(lfs)
+        for i in range(5):
+            assert again.read_file(f"/gen{i}") == bytes([i]) * 2000
+
+    def test_roll_forward_spans_segments(self, disk, cpu):
+        # Small segments force the post-checkpoint log across several
+        # segment boundaries (exercising the next-segment links).
+        config = small_lfs_config(segment_size=64 * 1024)
+        fs = LogStructuredFS.mkfs(disk, cpu, config)
+        fs.checkpoint()
+        for i in range(40):
+            fs.write_file(f"/s{i}", bytes([i]) * 8192)
+            fs.sync()
+        fs.crash()
+        fs.disk.revive()
+        again = LogStructuredFS.mount(fs.disk, fs.cpu, config)
+        assert len(again.last_recovery.segments_visited) > 1
+        for i in range(40):
+            assert again.read_file(f"/s{i}") == bytes([i]) * 8192
+
+    def test_recovery_is_idempotent(self, lfs):
+        lfs.checkpoint()
+        lfs.write_file("/x", b"x" * 3000)
+        lfs.sync()
+        crash_and_revive(lfs)
+        once = remount(lfs)
+        # Mount writes a post-recovery checkpoint; crash again
+        # immediately and recover again.
+        once.crash()
+        once.disk.revive()
+        twice = remount(once)
+        assert twice.read_file("/x") == b"x" * 3000
+
+    def test_in_flight_partial_segment_ignored(self, lfs):
+        # A flush whose disk write never completed must be rolled back
+        # by the device and invisible after recovery.
+        lfs.write_file("/base", b"base")
+        lfs.checkpoint()
+        lfs.write_file("/tail", b"tail" * 500)
+        lfs.flush_log()  # async write queued...
+        lfs.crash()  # ...crash before it completes
+        lfs.disk.revive()
+        again = remount(lfs)
+        assert again.read_file("/base") == b"base"
+        assert not again.exists("/tail")
+
+    def test_recovered_fs_fully_usable(self, lfs):
+        lfs.checkpoint()
+        lfs.mkdir("/d")
+        lfs.write_file("/d/f", b"content")
+        lfs.sync()
+        crash_and_revive(lfs)
+        again = remount(lfs)
+        assert again.read_file("/d/f") == b"content"
+        again.write_file("/d/new", b"more")
+        again.unlink("/d/f")
+        assert again.listdir("/d") == ["new"]
+        again.unmount()
+        final = remount(again)
+        assert final.listdir("/d") == ["new"]
+
+    def test_recovery_time_independent_of_fs_contents(self, lfs):
+        # The §4.4 claim: recovery examines only the log tail.
+        for i in range(300):
+            lfs.write_file(f"/old{i}", b"o" * 4096)
+        lfs.checkpoint()
+        lfs.write_file("/small-tail", b"t")
+        lfs.sync()
+        crash_and_revive(lfs)
+        start = lfs.clock.now()
+        again = remount(lfs)
+        elapsed = lfs.clock.now() - start
+        assert again.last_recovery.recovery_seconds < 1.0
+        assert elapsed < 5.0  # mount + recovery, all simulated seconds
+
+
+class TestCrashDuringCheckpoint:
+    def test_previous_checkpoint_survives(self, lfs):
+        lfs.write_file("/a", b"a")
+        lfs.checkpoint()
+        lfs.write_file("/b", b"b")
+        # Corrupt the *next* checkpoint region to simulate a torn
+        # checkpoint write, then crash.
+        region = lfs.checkpoints._next_region
+        sector = lfs.checkpoints._region_sector(region)
+        lfs.disk.write(sector, b"\xba\xad" * 1024, sync=True)
+        crash_and_revive(lfs)
+        again = remount(lfs)
+        assert again.read_file("/a") == b"a"

@@ -1,0 +1,127 @@
+"""Focused tests for roll-forward navigation and guards (§4.4).
+
+The recovery integration tests exercise whole crash scenarios; these
+pin the specific guard behaviours of the log scanner: sequence-number
+continuity, stale-summary rejection, the next-segment fallback, and
+report bookkeeping.
+"""
+
+import pytest
+
+from repro.lfs.filesystem import LogStructuredFS
+from repro.lfs.recovery import roll_forward
+from repro.lfs.summary import SegmentSummary
+from tests.conftest import small_lfs_config
+
+
+def checkpointed_fs(disk, cpu, **config_overrides):
+    fs = LogStructuredFS.mkfs(disk, cpu, small_lfs_config(**config_overrides))
+    fs.write_file("/base", b"base data")
+    fs.checkpoint()
+    return fs
+
+
+class TestGuards:
+    def test_stale_summary_from_previous_life_rejected(self, disk, cpu):
+        """A clean segment may still hold a valid-looking summary from
+        before it was cleaned; the sequence number must reject it."""
+        fs = checkpointed_fs(disk, cpu)
+        # Write beyond the checkpoint, then checkpoint again so the log
+        # tail is empty but old summaries exist after the tail position.
+        fs.write_file("/x", b"x" * 3000)
+        fs.sync()
+        fs.checkpoint()
+        fs.crash()
+        disk.revive()
+        again = LogStructuredFS.mount(disk, cpu, small_lfs_config())
+        # Nothing after the final checkpoint: the scan must stop at once
+        # even though earlier summaries exist further along the log.
+        assert again.last_recovery.partials_applied == 0
+        assert again.read_file("/x") == b"x" * 3000
+
+    def test_corrupt_tail_stops_scan_cleanly(self, disk, cpu):
+        fs = checkpointed_fs(disk, cpu)
+        fs.write_file("/good", b"g" * 2000)
+        fs.sync()
+        # Corrupt the log right after the synced partial: overwrite the
+        # next blocks of the active segment with garbage.
+        pos = fs.segments.position
+        addr = (
+            fs.layout.segment_first_block(pos.active_segment)
+            + pos.active_offset
+        )
+        spb = fs.config.sectors_per_block
+        fs.disk.write(addr * spb, b"\xab" * fs.config.block_size, sync=True)
+        fs.crash()
+        disk.revive()
+        again = LogStructuredFS.mount(disk, cpu, small_lfs_config())
+        assert again.read_file("/good") == b"g" * 2000
+
+    def test_report_counts(self, disk, cpu):
+        fs = checkpointed_fs(disk, cpu)
+        for i in range(3):
+            fs.write_file(f"/r{i}", bytes([i]) * 1500)
+            fs.sync()
+        fs.crash()
+        disk.revive()
+        again = LogStructuredFS.mount(disk, cpu, small_lfs_config())
+        report = again.last_recovery
+        assert report.partials_applied == 3
+        assert report.blocks_recovered > 3
+        assert report.imap_blocks_applied >= 3
+        assert report.stop_reason == "log-end"
+        assert report.recovery_seconds > 0
+
+    def test_no_writes_after_checkpoint_reason(self, disk, cpu):
+        fs = checkpointed_fs(disk, cpu)
+        fs.crash()
+        disk.revive()
+        again = LogStructuredFS.mount(disk, cpu, small_lfs_config())
+        assert (
+            again.last_recovery.stop_reason == "no-writes-after-checkpoint"
+        )
+
+    def test_roll_forward_disabled_reports_empty(self, disk, cpu):
+        fs = checkpointed_fs(disk, cpu)
+        fs.write_file("/lost", b"l" * 1000)
+        fs.sync()
+        fs.crash()
+        disk.revive()
+        again = LogStructuredFS.mount(
+            disk, cpu, small_lfs_config(roll_forward=False)
+        )
+        assert again.last_recovery.partials_applied == 0
+        assert not again.exists("/lost")
+
+
+class TestSegmentChainNavigation:
+    def test_follows_next_segment_links(self, disk, cpu):
+        # Tiny segments force the tail across many segment boundaries.
+        fs = checkpointed_fs(disk, cpu, segment_size=64 * 1024)
+        payload = b"chain" * 3000  # ~15 KB, several per segment
+        for i in range(30):
+            fs.write_file(f"/c{i}", payload)
+            fs.sync()
+        fs.crash()
+        disk.revive()
+        again = LogStructuredFS.mount(
+            disk, cpu, small_lfs_config(segment_size=64 * 1024)
+        )
+        report = again.last_recovery
+        assert len(report.segments_visited) >= 3
+        for i in range(30):
+            assert again.read_file(f"/c{i}") == payload
+
+    def test_mid_flush_segment_skip_recovered(self, disk, cpu):
+        """A flush that spills across segments mid-plan exercises the
+        fallback navigation (next partial not adjacent to the last)."""
+        fs = checkpointed_fs(disk, cpu, segment_size=64 * 1024)
+        # One big multi-segment flush.
+        fs.write_file("/big", b"B" * (200 * 1024))
+        fs.sync()
+        fs.crash()
+        disk.revive()
+        again = LogStructuredFS.mount(
+            disk, cpu, small_lfs_config(segment_size=64 * 1024)
+        )
+        assert again.read_file("/big") == b"B" * (200 * 1024)

@@ -1,0 +1,205 @@
+"""Unit tests for segment allocation and the segment writer."""
+
+import pytest
+
+from repro.common.inode import BlockKind, NIL
+from repro.disk.geometry import wren_iv
+from repro.disk.sim_disk import SimDisk
+from repro.errors import CleanerError, NoSpaceError
+from repro.lfs.config import LfsConfig, LfsLayout
+from repro.lfs.segments import LogPosition, PlannedBlock, SegmentManager
+from repro.lfs.segment_usage import SegmentState, SegmentUsage
+from repro.lfs.summary import SegmentSummary, SummaryEntry
+from repro.sim.clock import SimClock
+from repro.units import KIB, MIB
+
+BS = 4 * KIB
+SEG = 64 * KIB  # 16 blocks per segment: small, to test splitting
+
+
+@pytest.fixture
+def rig():
+    clock = SimClock()
+    disk = SimDisk(wren_iv(16 * MIB), clock)
+    config = LfsConfig(segment_size=SEG, max_inodes=512)
+    layout = LfsLayout.for_device(config, disk.device.total_bytes)
+    usage = SegmentUsage(layout.num_segments, SEG, BS)
+    manager = SegmentManager(layout, usage, disk, clock, reserve_segments=2)
+    manager.start_fresh()
+    return manager, usage, layout, disk
+
+
+def planned(n: int, sink: list) -> list:
+    blocks = []
+    for i in range(n):
+        entry = SummaryEntry(kind=BlockKind.DATA, inum=1, index=i)
+
+        def finalize(addr: int, i=i) -> None:
+            sink.append((i, addr))
+
+        blocks.append(
+            PlannedBlock(
+                entry=entry,
+                payload=lambda i=i: bytes([i % 256]) * BS,
+                finalize=finalize,
+            )
+        )
+    return blocks
+
+
+class TestLayout:
+    def test_segment_alignment(self):
+        config = LfsConfig(segment_size=SEG)
+        layout = LfsLayout.for_device(config, 16 * MIB)
+        assert layout.seg_start_block % config.blocks_per_segment == 0
+        assert layout.segment_first_block(0) == layout.seg_start_block
+        assert (
+            layout.segment_first_block(1)
+            == layout.seg_start_block + config.blocks_per_segment
+        )
+
+    def test_segment_of_block(self):
+        config = LfsConfig(segment_size=SEG)
+        layout = LfsLayout.for_device(config, 16 * MIB)
+        addr = layout.segment_first_block(3) + 5
+        assert layout.segment_of_block(addr) == 3
+
+    def test_rejects_blocks_before_log(self):
+        config = LfsConfig(segment_size=SEG)
+        layout = LfsLayout.for_device(config, 16 * MIB)
+        with pytest.raises(Exception):
+            layout.segment_of_block(0)
+
+    def test_too_small_device_rejected(self):
+        config = LfsConfig(segment_size=1 * MIB)
+        with pytest.raises(Exception):
+            LfsLayout.for_device(config, 2 * MIB)
+
+
+class TestWritePlan:
+    def test_single_partial_segment(self, rig):
+        manager, usage, layout, disk = rig
+        sink = []
+        nbytes = manager.write_plan(planned(4, sink))
+        assert nbytes == 5 * BS  # summary + 4 content blocks
+        # Addresses are consecutive after the summary.
+        addrs = [addr for _i, addr in sink]
+        assert addrs == list(range(addrs[0], addrs[0] + 4))
+
+    def test_payload_written_to_disk(self, rig):
+        manager, usage, layout, disk = rig
+        sink = []
+        manager.write_plan(planned(2, sink))
+        disk.drain()
+        _i, addr = sink[0]
+        spb = layout.config.sectors_per_block
+        assert disk.read(addr * spb, spb) == b"\x00" * BS
+
+    def test_summary_readable_from_disk(self, rig):
+        manager, usage, layout, disk = rig
+        pos_before = manager.position.active_offset
+        seq = manager.position.sequence
+        manager.write_plan(planned(3, []))
+        disk.drain()
+        first = layout.segment_first_block(
+            manager.position.active_segment
+        ) + pos_before
+        spb = layout.config.sectors_per_block
+        raw = disk.read(first * spb, spb)
+        summary = SegmentSummary.unpack(raw, BS)
+        assert summary.seq == seq
+        assert summary.nblocks == 3
+        assert summary.next_segment_block == layout.segment_first_block(
+            manager.position.next_segment
+        )
+
+    def test_sequence_increments_per_partial(self, rig):
+        manager, usage, layout, disk = rig
+        seq = manager.position.sequence
+        manager.write_plan(planned(1, []))
+        manager.write_plan(planned(1, []))
+        assert manager.position.sequence == seq + 2
+
+    def test_plan_spanning_segments(self, rig):
+        manager, usage, layout, disk = rig
+        # 16 blocks per segment; 40 content blocks must span 3+ segments.
+        sink = []
+        manager.write_plan(planned(40, sink))
+        segments = {layout.segment_of_block(addr) for _i, addr in sink}
+        assert len(segments) >= 3
+        assert len(sink) == 40
+
+    def test_filled_segments_marked_dirty(self, rig):
+        manager, usage, layout, disk = rig
+        start_seg = manager.position.active_segment
+        manager.write_plan(planned(40, []))
+        assert usage.info(start_seg).state is SegmentState.DIRTY
+
+    def test_active_and_next_marked_active(self, rig):
+        manager, usage, layout, disk = rig
+        manager.write_plan(planned(40, []))
+        pos = manager.position
+        assert usage.info(pos.active_segment).state is SegmentState.ACTIVE
+        assert usage.info(pos.next_segment).state is SegmentState.ACTIVE
+
+    def test_empty_plan_writes_nothing(self, rig):
+        manager, usage, layout, disk = rig
+        assert manager.write_plan([]) == 0
+        assert disk.stats.writes == 0
+
+    def test_one_async_request_per_partial(self, rig):
+        manager, usage, layout, disk = rig
+        manager.write_plan(planned(4, []))
+        assert disk.stats.writes == 1
+        assert disk.stats.sync_requests == 0
+
+    def test_bad_payload_size_rejected(self, rig):
+        manager, usage, layout, disk = rig
+        block = PlannedBlock(
+            entry=SummaryEntry(kind=BlockKind.DATA, inum=1, index=0),
+            payload=lambda: b"short",
+            finalize=lambda addr: None,
+        )
+        with pytest.raises(CleanerError):
+            manager.write_plan([block])
+
+
+class TestSpaceManagement:
+    def test_reserve_enforced(self, rig):
+        manager, usage, layout, disk = rig
+        with pytest.raises(NoSpaceError):
+            # Way more blocks than the device can hold.
+            manager.write_plan(planned(layout.num_segments * 16, []))
+
+    def test_cleaner_mode_can_dip_into_reserve(self, rig):
+        manager, usage, layout, disk = rig
+        manager.cleaner_mode = True
+        total = layout.num_segments
+        # Consume down into the reserve; only "no clean segments at all"
+        # stops the cleaner.
+        with pytest.raises(NoSpaceError, match="no clean segments"):
+            manager.write_plan(planned(total * 16, []))
+
+    def test_restore_position(self, rig):
+        manager, usage, layout, disk = rig
+        manager.write_plan(planned(3, []))
+        saved = manager.position
+        other = SegmentManager(layout, usage, disk, SimClock(), 2)
+        other.restore(saved)
+        assert other.position == saved
+        assert other.position is not saved  # defensive copy
+
+    def test_position_requires_open_log(self, rig):
+        _manager, usage, layout, disk = rig
+        fresh = SegmentManager(layout, usage, disk, SimClock(), 2)
+        with pytest.raises(CleanerError):
+            fresh.position
+
+    def test_stats_accumulate(self, rig):
+        manager, usage, layout, disk = rig
+        manager.write_plan(planned(4, []))
+        assert manager.partial_segments_written == 1
+        assert manager.log_bytes_written == 5 * BS
+        manager.cleaner_mode = True
+        manager.write_plan(planned(1, []))
+        assert manager.cleaner_bytes_written == 2 * BS

@@ -1,0 +1,106 @@
+"""Unit tests for segment summary blocks (§4.3.1)."""
+
+import pytest
+
+from repro.common.inode import BlockKind
+from repro.errors import CorruptionError
+from repro.lfs.summary import SegmentSummary, SummaryEntry
+
+BS = 4096
+
+
+def sample_summary(nentries: int = 3) -> SegmentSummary:
+    return SegmentSummary(
+        seq=17,
+        timestamp=42.5,
+        next_segment_block=9000,
+        entries=[
+            SummaryEntry(
+                kind=BlockKind.DATA, inum=10 + i, index=i, version=2
+            )
+            for i in range(nentries)
+        ],
+    )
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        summary = sample_summary()
+        packed = summary.pack(BS)
+        assert len(packed) == BS
+        parsed = SegmentSummary.unpack(packed, BS)
+        assert parsed == summary
+
+    def test_inode_entry_with_inums(self):
+        summary = SegmentSummary(
+            seq=1,
+            timestamp=0.0,
+            entries=[
+                SummaryEntry(
+                    kind=BlockKind.INODE,
+                    inum=5,
+                    index=0,
+                    inums=(5, 6, 7, 99),
+                )
+            ],
+        )
+        parsed = SegmentSummary.unpack(summary.pack(BS), BS)
+        assert parsed.entries[0].inums == (5, 6, 7, 99)
+
+    def test_empty_summary(self):
+        summary = SegmentSummary(seq=1, timestamp=0.0, entries=[])
+        parsed = SegmentSummary.unpack(summary.pack(BS), BS)
+        assert parsed.nblocks == 0
+
+    def test_all_kinds_roundtrip(self):
+        entries = [
+            SummaryEntry(kind=kind, inum=1, index=2, version=3)
+            for kind in BlockKind
+        ]
+        summary = SegmentSummary(seq=9, timestamp=1.0, entries=entries)
+        parsed = SegmentSummary.unpack(summary.pack(BS), BS)
+        assert [e.kind for e in parsed.entries] == list(BlockKind)
+
+
+class TestMultiBlockSummaries:
+    def test_many_entries_span_blocks(self):
+        summary = sample_summary(nentries=400)  # > one 4 KB block of entries
+        nsummary = summary.summary_blocks(BS)
+        assert nsummary == 2
+        packed = summary.pack(BS)
+        assert len(packed) == 2 * BS
+        assert SegmentSummary.peek_summary_blocks(packed[:BS], BS) == 2
+        parsed = SegmentSummary.unpack(packed, BS)
+        assert parsed.nblocks == 400
+
+    def test_unpack_insufficient_data_raises(self):
+        packed = sample_summary(400).pack(BS)
+        with pytest.raises(CorruptionError):
+            SegmentSummary.unpack(packed[:BS], BS)
+
+    def test_blocks_needed(self):
+        assert SegmentSummary.blocks_needed(10, BS) == 1
+        assert SegmentSummary.blocks_needed(BS, BS) == 2
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(CorruptionError):
+            SegmentSummary.unpack(b"\x00" * BS, BS)
+
+    def test_peek_bad_magic(self):
+        with pytest.raises(CorruptionError):
+            SegmentSummary.peek_summary_blocks(b"\xff" * BS, BS)
+
+    def test_corrupted_body_fails_checksum(self):
+        packed = bytearray(sample_summary().pack(BS))
+        packed[60] ^= 0xFF  # flip a bit inside the entries
+        with pytest.raises(CorruptionError):
+            SegmentSummary.unpack(bytes(packed), BS)
+
+    def test_entry_packed_size(self):
+        plain = SummaryEntry(kind=BlockKind.DATA, inum=1, index=2)
+        with_inums = SummaryEntry(
+            kind=BlockKind.INODE, inum=1, index=0, inums=(1, 2, 3)
+        )
+        assert with_inums.packed_size() == plain.packed_size() + 12

@@ -1,0 +1,105 @@
+"""Tests for the offline LFS verifier — and using it as a test oracle."""
+
+import pytest
+
+from repro.lfs.filesystem import LogStructuredFS
+from repro.lfs.verify import verify_lfs
+from tests.conftest import small_lfs_config
+
+
+def check(lfs) -> None:
+    report = verify_lfs(lfs.disk.device)
+    assert report.consistent, report.errors
+
+
+class TestVerifierOnHealthyImages:
+    def test_fresh_fs(self, lfs):
+        lfs.unmount()
+        report = verify_lfs(lfs.disk.device)
+        assert report.consistent
+        assert report.inodes_checked == 1  # just the root
+
+    def test_populated_fs(self, lfs):
+        lfs.mkdir("/d")
+        for i in range(30):
+            lfs.write_file(f"/d/f{i}", bytes([i]) * 3000)
+        lfs.unmount()
+        report = verify_lfs(lfs.disk.device)
+        assert report.consistent, report.errors
+        assert report.inodes_checked == 32
+        assert report.directories_checked == 2
+        assert report.live_bytes_found > 30 * 3000
+
+    def test_after_churn_and_cleaning(self, lfs):
+        for round_ in range(5):
+            for i in range(120):
+                lfs.write_file(
+                    f"/c{round_}_{i}", bytes([(round_ * 40 + i) % 256]) * 4096
+                )
+            lfs.sync()
+            for i in range(0, 120, 2):
+                lfs.unlink(f"/c{round_}_{i}")
+        lfs.clean_now(lfs.layout.num_segments)
+        lfs.unmount()
+        check(lfs)
+
+    def test_after_crash_recovery(self, disk, cpu):
+        fs = LogStructuredFS.mkfs(disk, cpu, small_lfs_config())
+        fs.write_file("/a", b"a" * 5000)
+        fs.checkpoint()
+        fs.write_file("/b", b"b" * 5000)
+        fs.sync()
+        fs.crash()
+        disk.revive()
+        recovered = LogStructuredFS.mount(disk, cpu, small_lfs_config())
+        recovered.unmount()
+        check(recovered)
+
+    def test_with_indirect_files(self, lfs):
+        lfs.write_file("/big", b"B" * (20 * 4096))
+        lfs.unmount()
+        check(lfs)
+
+
+class TestVerifierCatchesCorruption:
+    def test_detects_clobbered_inode_block(self, lfs):
+        lfs.write_file("/f", b"x" * 5000)
+        inum = lfs.stat("/f").inum
+        lfs.unmount()
+        # Smash the inode's block on disk.
+        imap_entry = lfs.imap.get(inum)
+        spb = lfs.config.sectors_per_block
+        lfs.disk.device.write(
+            imap_entry.inode_addr * spb, b"\xde" * lfs.config.block_size
+        )
+        report = verify_lfs(lfs.disk.device)
+        assert not report.consistent
+
+    def test_detects_bad_nlink(self, lfs):
+        lfs.mkdir("/d")
+        lfs.unmount()
+        # Rewrite the root inode with a wrong nlink directly on disk.
+        from repro.common.inode import Inode, INODE_SIZE
+        from repro.vfs.base import ROOT_INUM
+
+        entry = lfs.imap.get(ROOT_INUM)
+        spb = lfs.config.sectors_per_block
+        raw = bytearray(
+            lfs.disk.device.read(entry.inode_addr * spb, spb)
+        )
+        inode = Inode.unpack(
+            raw[entry.slot * INODE_SIZE : (entry.slot + 1) * INODE_SIZE]
+        )
+        inode.nlink = 7
+        raw[entry.slot * INODE_SIZE : (entry.slot + 1) * INODE_SIZE] = (
+            inode.pack()
+        )
+        lfs.disk.device.write(entry.inode_addr * spb, bytes(raw))
+        report = verify_lfs(lfs.disk.device)
+        assert any("nlink" in error for error in report.errors)
+
+    def test_blank_device_reports_error(self, disk):
+        from repro.errors import CorruptionError
+
+        with pytest.raises(CorruptionError):
+            verify_lfs(disk.device)

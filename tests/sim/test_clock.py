@@ -1,0 +1,112 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance_moves_time(self):
+        clock = SimClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        clock.advance(0.5)
+        assert clock.now() == pytest.approx(1.5)
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(7.0)
+        assert clock.now() == 7.0
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock()
+        assert clock.advance(4.0) == 4.0
+
+
+class TestTimers:
+    def test_timer_fires_during_advance(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(5.0, lambda: fired.append(clock.now()))
+        clock.advance_to(10.0)
+        assert fired == [5.0]
+
+    def test_timer_not_fired_early(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(5.0, lambda: fired.append(True))
+        clock.advance_to(4.9)
+        assert fired == []
+
+    def test_timers_fire_in_expiry_order(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(3.0, lambda: fired.append("b"))
+        clock.call_at(1.0, lambda: fired.append("a"))
+        clock.call_at(5.0, lambda: fired.append("c"))
+        clock.advance_to(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_same_expiry_keeps_insertion_order(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(2.0, lambda: fired.append("first"))
+        clock.call_at(2.0, lambda: fired.append("second"))
+        clock.advance_to(2.0)
+        assert fired == ["first", "second"]
+
+    def test_past_timer_fires_on_next_advance(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        fired = []
+        clock.call_at(5.0, lambda: fired.append(True))
+        clock.advance(0.001)
+        assert fired == [True]
+
+    def test_cancel_all(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(1.0, lambda: fired.append(True))
+        clock.cancel_all_timers()
+        clock.advance_to(5.0)
+        assert fired == []
+        assert clock.pending_timers() == 0
+
+    def test_pending_count(self):
+        clock = SimClock()
+        clock.call_at(1.0, lambda: None)
+        clock.call_at(2.0, lambda: None)
+        assert clock.pending_timers() == 2
+
+    def test_clock_sits_at_expiry_while_firing(self):
+        clock = SimClock()
+        seen = []
+        clock.call_at(3.0, lambda: seen.append(clock.now()))
+        clock.call_at(6.0, lambda: seen.append(clock.now()))
+        clock.advance_to(8.0)
+        assert seen == [3.0, 6.0]

@@ -1,0 +1,77 @@
+"""Unit tests for the CPU cost model."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.cpu import CpuCosts, CpuModel
+
+
+class TestCpuCosts:
+    def test_scaled_divides_costs(self):
+        costs = CpuCosts()
+        fast = costs.scaled(2.0)
+        assert fast.create == pytest.approx(costs.create / 2.0)
+        assert fast.syscall == pytest.approx(costs.syscall / 2.0)
+        assert fast.copy_per_byte == pytest.approx(costs.copy_per_byte / 2.0)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CpuCosts().scaled(0.0)
+        with pytest.raises(ValueError):
+            CpuCosts().scaled(-1.0)
+
+    def test_identity_scale(self):
+        costs = CpuCosts()
+        assert costs.scaled(1.0) == costs
+
+
+class TestCpuModel:
+    def test_charge_advances_clock(self):
+        clock = SimClock()
+        cpu = CpuModel(clock)
+        cpu.charge(0.25)
+        assert clock.now() == pytest.approx(0.25)
+        assert cpu.total_cpu_seconds == pytest.approx(0.25)
+
+    def test_negative_charge_rejected(self):
+        cpu = CpuModel(SimClock())
+        with pytest.raises(ValueError):
+            cpu.charge(-1.0)
+
+    def test_speed_factor_halves_time(self):
+        slow = CpuModel(SimClock(), speed_factor=1.0)
+        fast = CpuModel(SimClock(), speed_factor=2.0)
+        slow.create()
+        fast.create()
+        assert fast.clock.now() == pytest.approx(slow.clock.now() / 2.0)
+
+    def test_copy_scales_with_bytes(self):
+        cpu = CpuModel(SimClock())
+        cpu.copy(1024)
+        one_kb = cpu.clock.now()
+        cpu.copy(4096)
+        assert cpu.clock.now() - one_kb == pytest.approx(4 * one_kb)
+
+    def test_path_lookup_scales_with_components(self):
+        cpu = CpuModel(SimClock())
+        cpu.path_lookup(3)
+        assert cpu.clock.now() == pytest.approx(cpu.costs.path_component * 3)
+
+    def test_all_charge_helpers_accumulate(self):
+        cpu = CpuModel(SimClock())
+        cpu.syscall()
+        cpu.create()
+        cpu.remove()
+        cpu.block_touch(2)
+        cpu.cleaner_blocks(5)
+        cpu.checkpoint()
+        expected = (
+            cpu.costs.syscall
+            + cpu.costs.create
+            + cpu.costs.remove
+            + 2 * cpu.costs.block_touch
+            + 5 * cpu.costs.cleaner_per_block
+            + cpu.costs.checkpoint
+        )
+        assert cpu.total_cpu_seconds == pytest.approx(expected)
+        assert cpu.clock.now() == pytest.approx(expected)

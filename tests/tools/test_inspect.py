@@ -1,0 +1,84 @@
+"""Tests for raw-image inspection."""
+
+import pytest
+
+from repro.tools.inspect import describe_ffs, describe_image, describe_lfs, identify
+
+
+class TestIdentify:
+    def test_lfs(self, lfs):
+        lfs.unmount()
+        assert identify(lfs.disk.device) == "lfs"
+
+    def test_ffs(self, ffs):
+        ffs.unmount()
+        assert identify(ffs.disk.device) == "ffs"
+
+    def test_blank(self, disk):
+        assert identify(disk.device) is None
+        assert "unrecognized" in describe_image(disk.device)
+
+
+class TestDescribeLfs:
+    def test_fresh_image(self, lfs):
+        lfs.unmount()
+        text = describe_lfs(lfs.disk.device)
+        assert "LFS image" in text
+        assert "checkpoint 0" in text
+        assert "utilization map" in text
+
+    def test_reports_live_data(self, lfs):
+        lfs.write_file("/f", b"x" * 100000)
+        lfs.unmount()
+        text = describe_image(lfs.disk.device)
+        assert "live data" in text
+        assert "0.0 B" not in text.split("live data")[1].splitlines()[0]
+
+    def test_reports_log_tail(self, lfs):
+        lfs.checkpoint()
+        lfs.write_file("/tail", b"t" * 5000)
+        lfs.sync()
+        lfs.disk.drain()
+        text = describe_lfs(lfs.disk.device)
+        assert "seq " in text  # at least one parsed tail summary
+
+    def test_no_tail_after_clean_unmount(self, lfs):
+        lfs.write_file("/f", b"y")
+        lfs.unmount()
+        text = describe_lfs(lfs.disk.device)
+        assert "no writes after the last checkpoint" in text
+
+    def test_dirty_segments_in_map(self, lfs):
+        for i in range(50):
+            lfs.write_file(f"/f{i}", b"z" * 8192)
+        lfs.unmount()
+        text = describe_lfs(lfs.disk.device)
+        map_lines = text.split("utilization map")[1]
+        assert any(ch.isdigit() for ch in map_lines)
+
+
+class TestDescribeFfs:
+    def test_fresh_image(self, ffs):
+        ffs.unmount()
+        text = describe_ffs(ffs.disk.device)
+        assert "FFS image" in text
+        assert "cylinder groups" in text
+        assert "cg 0:" in text
+
+    def test_usage_counts_move(self, ffs):
+        before = describe_ffs_used(ffs)
+        ffs.write_file("/f", b"x" * 8192 * 4)
+        after = describe_ffs_used(ffs)
+        assert after > before
+
+
+def describe_ffs_used(ffs) -> int:
+    """Total used data blocks parsed back out of the description."""
+    ffs.sync()
+    text = describe_ffs(ffs.disk.device)
+    total = 0
+    for line in text.splitlines():
+        if "data blocks used" in line:
+            used = line.split("inodes,")[1].split("/")[0].strip()
+            total += int(used)
+    return total

@@ -1,0 +1,66 @@
+"""fsync semantics on both storage managers."""
+
+import pytest
+
+from repro.ffs.filesystem import FastFileSystem
+from repro.ffs.fsck import fsck
+from repro.lfs.filesystem import LogStructuredFS
+from tests.conftest import small_ffs_config, small_lfs_config
+
+
+class TestFsyncSemantics:
+    def test_fsynced_data_survives_crash_lfs(self, disk, cpu):
+        fs = LogStructuredFS.mkfs(disk, cpu, small_lfs_config())
+        fs.checkpoint()
+        with fs.create("/durable") as handle:
+            handle.write(b"must survive" * 100)
+            handle.fsync()
+        fs.crash()
+        disk.revive()
+        again = LogStructuredFS.mount(disk, cpu, small_lfs_config())
+        assert again.read_file("/durable") == b"must survive" * 100
+
+    def test_fsynced_data_survives_crash_ffs(self, disk, cpu):
+        fs = FastFileSystem.mkfs(disk, cpu, small_ffs_config())
+        with fs.create("/durable") as handle:
+            handle.write(b"kept" * 500)
+            handle.fsync()
+        fs.crash()
+        disk.revive()
+        fsck(disk)
+        again = FastFileSystem.mount(disk, cpu, small_ffs_config())
+        assert again.read_file("/durable") == b"kept" * 500
+
+    def test_fsync_blocks_the_caller(self, anyfs):
+        with anyfs.create("/f") as handle:
+            handle.write(b"w" * 50000)
+            before = anyfs.clock.now()
+            handle.fsync()
+            assert anyfs.clock.now() > before
+
+    def test_ffs_fsync_writes_only_that_file(self, ffs):
+        ffs.write_file("/other", b"o" * 8192 * 4)  # stays dirty
+        writes_before = ffs.disk.stats.writes
+        with ffs.create("/mine") as handle:
+            handle.write(b"m" * 8192)
+            sync_point = ffs.disk.stats.writes
+            handle.fsync()
+        fsync_writes = ffs.disk.stats.writes - sync_point
+        # One data block + the inode block: /other's blocks untouched.
+        assert fsync_writes == 2
+        assert ffs.cache.dirty_bytes >= 4 * 8192  # /other still dirty
+
+    def test_fsync_on_closed_handle_rejected(self, anyfs):
+        from repro.errors import StaleHandleError
+
+        handle = anyfs.create("/f")
+        handle.close()
+        with pytest.raises(StaleHandleError):
+            handle.fsync()
+
+    def test_fsync_clean_file_is_noop_ish(self, anyfs):
+        anyfs.write_file("/f", b"x" * 1000)
+        anyfs.sync()
+        with anyfs.open("/f") as handle:
+            handle.fsync()  # must not raise
+        assert anyfs.read_file("/f") == b"x" * 1000

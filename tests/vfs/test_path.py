@@ -1,0 +1,60 @@
+"""Unit tests for path handling."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.vfs.path import dirname_basename, join, normalize, split_path
+
+
+class TestSplitPath:
+    def test_root(self):
+        assert split_path("/") == []
+
+    def test_simple(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+
+    def test_collapses_slashes_and_dots(self):
+        assert split_path("/a//b/./c/") == ["a", "b", "c"]
+
+    def test_parent_references(self):
+        assert split_path("/a/b/../c") == ["a", "c"]
+
+    def test_parent_above_root_clamps(self):
+        assert split_path("/../a") == ["a"]
+
+    def test_relative_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            split_path("a/b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            split_path("")
+
+
+class TestNormalize:
+    def test_examples(self):
+        assert normalize("/a/../b//c/.") == "/b/c"
+        assert normalize("/") == "/"
+
+
+class TestJoin:
+    def test_basic(self):
+        assert join("/a", "b", "c") == "/a/b/c"
+
+    def test_root_base(self):
+        assert join("/", "x") == "/x"
+
+    def test_strips_extra_slashes(self):
+        assert join("/a/", "/b/") == "/a/b"
+
+
+class TestDirnameBasename:
+    def test_basic(self):
+        assert dirname_basename("/a/b/c") == ("/a/b", "c")
+
+    def test_top_level(self):
+        assert dirname_basename("/file") == ("/", "file")
+
+    def test_root_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            dirname_basename("/")

@@ -1,0 +1,122 @@
+"""Tests for the trace parser and replayer."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.workloads.trace_replay import (
+    TraceOp,
+    parse_trace,
+    replay,
+    replay_text,
+)
+
+
+class TestParser:
+    def test_full_grammar(self):
+        text = """
+        # a comment
+        mkdir /src
+        create /src/main.c 2048
+        write /src/main.c 512 128
+        read /src/main.c            # whole file
+        read /src/main.c 0 4096
+        truncate /src/main.c 100
+        rename /src/main.c /src/old.c
+        unlink /src/old.c
+        rmdir /src
+        sync
+        """
+        ops = parse_trace(text.splitlines())
+        assert [op.op for op in ops] == [
+            "mkdir", "create", "write", "read", "read", "truncate",
+            "rename", "unlink", "rmdir", "sync",
+        ]
+        assert ops[1].length == 2048
+        assert ops[2].offset == 512 and ops[2].length == 128
+        assert ops[3].length == -1  # whole-file read
+        assert ops[6].path2 == "/src/old.c"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(InvalidArgumentError, match="unknown operation"):
+            parse_trace(["chmod /x 777"])
+
+    def test_malformed_args_rejected(self):
+        with pytest.raises(InvalidArgumentError, match="malformed"):
+            parse_trace(["write /x notanumber 5"])
+        with pytest.raises(InvalidArgumentError, match="malformed"):
+            parse_trace(["rename /only-one"])
+
+    def test_blank_lines_and_comments_skipped(self):
+        assert parse_trace(["", "   ", "# hi"]) == []
+
+
+class TestReplay:
+    def test_end_state_matches_trace(self, anyfs):
+        result = replay_text(
+            anyfs,
+            """
+            mkdir /a
+            create /a/x 1000
+            create /a/y 500
+            write /a/x 1000 200
+            unlink /a/y
+            rename /a/x /a/z
+            sync
+            """,
+        )
+        assert anyfs.listdir("/a") == ["z"]
+        assert anyfs.stat("/a/z").size == 1200
+        assert result.operations == 7
+        assert result.bytes_written == 1700
+        assert result.counts["create"] == 2
+
+    def test_read_accounting(self, anyfs):
+        result = replay_text(
+            anyfs,
+            """
+            create /f 4096
+            read /f
+            read /f 0 100
+            """,
+        )
+        assert result.bytes_read == 4196
+
+    def test_deterministic_payloads(self, anyfs):
+        replay_text(anyfs, "create /f 64")
+        first = anyfs.read_file("/f")
+        anyfs.unlink("/f")
+        replay_text(anyfs, "create /f 64")
+        assert anyfs.read_file("/f") == first
+
+    def test_elapsed_time_positive(self, anyfs):
+        result = replay_text(anyfs, "create /f 100\nsync")
+        assert result.elapsed_seconds > 0
+        assert result.ops_per_second() > 0
+
+    def test_same_trace_both_systems(self, clock, cpu):
+        from repro.disk.geometry import wren_iv
+        from repro.disk.sim_disk import SimDisk
+        from repro.ffs.filesystem import FastFileSystem
+        from repro.lfs.filesystem import LogStructuredFS
+        from repro.units import MIB
+        from tests.conftest import small_ffs_config, small_lfs_config
+
+        trace = parse_trace(
+            [
+                "mkdir /d",
+                *(f"create /d/f{i} {100 * i}" for i in range(1, 20)),
+                *(f"unlink /d/f{i}" for i in range(1, 10)),
+                "sync",
+            ]
+        )
+        lfs = LogStructuredFS.mkfs(
+            SimDisk(wren_iv(48 * MIB), clock), cpu, small_lfs_config()
+        )
+        ffs = FastFileSystem.mkfs(
+            SimDisk(wren_iv(48 * MIB), clock), cpu, small_ffs_config()
+        )
+        replay(lfs, trace)
+        replay(ffs, trace)
+        assert lfs.listdir("/d") == ffs.listdir("/d")
+        for name in lfs.listdir("/d"):
+            assert lfs.read_file(f"/d/{name}") == ffs.read_file(f"/d/{name}")
