@@ -1,0 +1,28 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint bench-smoke bench ci
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Prefer ruff when available; otherwise the dependency-free fallback
+# (same F401/F841 scope, see src/repro/tools/lint.py).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		$(PYTHON) -m repro.tools.lint src tests benchmarks; \
+	fi
+
+# Smoke sizes are too small for the full 2x cleaning-speedup gate (the
+# O(n) terms barely register at 256 segments); 1.0 still catches the
+# optimized paths ever being slower than the legacy ones.
+bench-smoke:
+	$(PYTHON) benchmarks/perf_harness.py --smoke --strict \
+		--min-cleaning-speedup 1.0 --output /tmp/BENCH_smoke.json
+
+bench:
+	$(PYTHON) benchmarks/perf_harness.py --scale small --strict
+
+ci: lint test bench-smoke

@@ -9,7 +9,6 @@ sequential asynchronous transfer.
 from benchmarks.conftest import emit, once
 from repro.analysis.report import Table
 from repro.harness import fig1_fig2_creation_traces
-from repro.units import MIB
 
 
 def test_fig1_fig2(benchmark):

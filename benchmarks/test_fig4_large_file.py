@@ -16,7 +16,7 @@ requests:
 from benchmarks.conftest import PAPER_SCALE, emit, once
 from repro.analysis.report import Table
 from repro.harness import fig4_large_file
-from repro.units import KIB, MIB
+from repro.units import MIB
 from repro.workloads.largefile import PHASES
 
 FILE_BYTES = 100 * MIB if PAPER_SCALE else 20 * MIB

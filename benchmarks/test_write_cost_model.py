@@ -9,7 +9,6 @@ and that both blow up together as u -> 1.
 
 from benchmarks.conftest import PAPER_SCALE, emit, once
 from repro.analysis.report import Table
-from repro.analysis.write_cost import analytic_write_cost
 from repro.harness import write_cost_comparison
 from repro.units import MIB
 

@@ -17,7 +17,7 @@ clean segments remain, and the distribution of segment utilizations
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.lfs.filesystem import LogStructuredFS
 from repro.workloads.office import OfficeState, run_office_workload

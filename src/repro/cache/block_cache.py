@@ -16,7 +16,7 @@ that "blocks mapping active files will stay memory resident" (§4.2.1).
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Iterator, List, Optional, Tuple, Union
 
 from repro.common.inode import BlockKey, BlockKind

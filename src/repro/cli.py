@@ -26,7 +26,7 @@ import sys
 from typing import List, Optional
 
 from repro.disk.device import SectorDevice
-from repro.disk.geometry import DiskGeometry, wren_iv
+from repro.disk.geometry import DiskGeometry
 from repro.disk.sim_disk import SimDisk
 from repro.errors import ReproError
 from repro.ffs.filesystem import FastFileSystem

@@ -3,6 +3,13 @@
 Everything a file system in this library persists goes through these
 helpers, so that a mounted file system can be reconstructed from device
 bytes alone (the crash-recovery tests depend on this).
+
+The field primitives are precompiled :class:`struct.Struct` instances
+(module-level ``U8`` … ``F64``): hot paths with fixed record layouts —
+segment-usage entries, inode-map entries, summary headers — compose
+these (or their own precompiled record Structs) instead of re-parsing a
+format string per field.  :class:`Packer`/:class:`Unpacker` stay the
+convenient field-at-a-time interface for everything else.
 """
 
 from __future__ import annotations
@@ -12,6 +19,13 @@ import zlib
 from typing import Iterator
 
 from repro.errors import CorruptionError
+
+# Precompiled little-endian field primitives shared by every record.
+U8 = struct.Struct("<B")
+U16 = struct.Struct("<H")
+U32 = struct.Struct("<I")
+U64 = struct.Struct("<Q")
+F64 = struct.Struct("<d")
 
 
 def checksum(data: bytes) -> int:
@@ -35,23 +49,23 @@ class Packer:
         self._parts: list[bytes] = []
 
     def u8(self, value: int) -> "Packer":
-        self._parts.append(struct.pack("<B", value))
+        self._parts.append(U8.pack(value))
         return self
 
     def u16(self, value: int) -> "Packer":
-        self._parts.append(struct.pack("<H", value))
+        self._parts.append(U16.pack(value))
         return self
 
     def u32(self, value: int) -> "Packer":
-        self._parts.append(struct.pack("<I", value))
+        self._parts.append(U32.pack(value))
         return self
 
     def u64(self, value: int) -> "Packer":
-        self._parts.append(struct.pack("<Q", value))
+        self._parts.append(U64.pack(value))
         return self
 
     def f64(self, value: float) -> "Packer":
-        self._parts.append(struct.pack("<d", value))
+        self._parts.append(F64.pack(value))
         return self
 
     def raw(self, data: bytes) -> "Packer":
@@ -91,19 +105,19 @@ class Unpacker:
         return chunk
 
     def u8(self) -> int:
-        return struct.unpack("<B", self._take(1))[0]
+        return U8.unpack(self._take(1))[0]
 
     def u16(self) -> int:
-        return struct.unpack("<H", self._take(2))[0]
+        return U16.unpack(self._take(2))[0]
 
     def u32(self) -> int:
-        return struct.unpack("<I", self._take(4))[0]
+        return U32.unpack(self._take(4))[0]
 
     def u64(self) -> int:
-        return struct.unpack("<Q", self._take(8))[0]
+        return U64.unpack(self._take(8))[0]
 
     def f64(self) -> float:
-        return struct.unpack("<d", self._take(8))[0]
+        return F64.unpack(self._take(8))[0]
 
     def raw(self, size: int) -> bytes:
         return self._take(size)

@@ -169,7 +169,9 @@ class StripedDisk:
         issue = self.clock.now()
         count = len(data) // self.geometry.sector_size
         start, done, tier = self._schedule(sector, count)
-        self.device.write(sector, data, completion_time=done)
+        # Synchronous requests advance the clock past ``done`` before
+        # returning, so the device can skip their undo records.
+        self.device.write(sector, data, completion_time=done, durable=sync)
         self.stats.record(True, len(data), sync, tier.value, done - start)
         if self.trace is not None:
             self.trace.record(

@@ -11,12 +11,27 @@ power failure would leave given the simulated I/O schedule.
 This is the mechanism behind all crash-recovery experiments: LFS loses at
 most the writes since its last checkpoint, while the FFS baseline can be
 left with inconsistent metadata that fsck must repair.
+
+Durability tracking is incremental.  The timing layer issues writes in
+FIFO busy-timeline order (completion times never decrease) and advances
+durability with a monotone clock, so undo records live in a
+completion-time-ordered deque whose durable prefix :meth:`mark_durable`
+drains from the left — O(1) amortized per record, instead of rebuilding
+the whole pending list on every I/O.  Synchronous writes (the caller
+blocks until the completion time has passed, so no crash can ever
+observe them half-done) declare ``durable=True`` and skip the undo
+record entirely.  Callers that bypass the timing layer keep the exact
+historical semantics: writes whose completion times go backwards flip
+the deque into a slow path that filters like the original
+implementation.
 """
 
 from __future__ import annotations
 
+import os
+from collections import deque
 from dataclasses import dataclass
-from typing import List
+from typing import Deque, Optional
 
 from repro.errors import DeviceCrashedError, OutOfRangeError
 from repro.units import SECTOR_SIZE
@@ -34,18 +49,46 @@ class _PendingWrite:
 class SectorDevice:
     """A crash-aware array of fixed-size sectors."""
 
-    def __init__(self, num_sectors: int, sector_size: int = SECTOR_SIZE) -> None:
+    def __init__(
+        self,
+        num_sectors: int,
+        sector_size: int = SECTOR_SIZE,
+        *,
+        initial_data: Optional[bytearray] = None,
+    ) -> None:
         if num_sectors <= 0:
             raise ValueError(f"device needs at least one sector: {num_sectors}")
         if sector_size <= 0:
             raise ValueError(f"sector size must be positive: {sector_size}")
         self.num_sectors = num_sectors
         self.sector_size = sector_size
-        self._data = bytearray(num_sectors * sector_size)
-        self._pending: List[_PendingWrite] = []
+        if initial_data is not None:
+            if len(initial_data) != num_sectors * sector_size:
+                raise OutOfRangeError(
+                    f"initial image is {len(initial_data)} bytes, device "
+                    f"needs {num_sectors * sector_size}"
+                )
+            self._data = (
+                initial_data
+                if isinstance(initial_data, bytearray)
+                else bytearray(initial_data)
+            )
+        else:
+            self._data = bytearray(num_sectors * sector_size)
+        self._pending: Deque[_PendingWrite] = deque()
+        self._pending_monotone = True
         self._crashed = False
         self.total_sectors_written = 0
         self.total_sectors_read = 0
+        # Operation-count probes for the perf harness: each undo record
+        # is created once and pays one scan step when it is drained, so
+        # durability_scan_steps <= undo_records_created proves the
+        # mark_durable work is O(1) amortized per write (the old
+        # implementation rebuilt the whole list per call).
+        self.undo_records_created = 0
+        self.undo_records_skipped = 0
+        self.durability_scan_steps = 0
+        self.mark_durable_calls = 0
 
     @property
     def total_bytes(self) -> int:
@@ -69,12 +112,21 @@ class SectorDevice:
         start = sector * self.sector_size
         return bytes(self._data[start : start + count * self.sector_size])
 
-    def write(self, sector: int, data: bytes, completion_time: float = 0.0) -> None:
+    def write(
+        self,
+        sector: int,
+        data: bytes,
+        completion_time: float = 0.0,
+        durable: bool = False,
+    ) -> None:
         """Write ``data`` (a whole number of sectors) at ``sector``.
 
         The new contents are immediately visible to reads but only durable
         once the simulated clock passes ``completion_time``; see
-        :meth:`crash`.
+        :meth:`crash`.  With ``durable=True`` the caller asserts the write
+        can never be rolled back (it will advance the clock past the
+        completion time before any crash can be observed — the timing
+        layer's synchronous-write path), so no undo record is kept.
         """
         if len(data) % self.sector_size:
             raise OutOfRangeError(
@@ -85,18 +137,41 @@ class SectorDevice:
         self._check_range(sector, count)
         self.total_sectors_written += count
         start = sector * self.sector_size
-        self._pending.append(
-            _PendingWrite(
-                completion_time=completion_time,
-                sector=sector,
-                old_data=bytes(self._data[start : start + len(data)]),
+        if durable:
+            # The undo record would be dropped by the caller's own
+            # mark_durable before any crash could observe it, so never
+            # allocate it (nor copy the overwritten bytes).
+            self.undo_records_skipped += 1
+        else:
+            pending = self._pending
+            if pending and completion_time < pending[-1].completion_time:
+                self._pending_monotone = False
+            pending.append(
+                _PendingWrite(
+                    completion_time=completion_time,
+                    sector=sector,
+                    old_data=bytes(self._data[start : start + len(data)]),
+                )
             )
-        )
+            self.undo_records_created += 1
         self._data[start : start + len(data)] = data
 
     def mark_durable(self, now: float) -> None:
         """Forget undo records for writes completed at or before ``now``."""
-        self._pending = [p for p in self._pending if p.completion_time > now]
+        self.mark_durable_calls += 1
+        pending = self._pending
+        if self._pending_monotone:
+            while pending and pending[0].completion_time <= now:
+                pending.popleft()
+                self.durability_scan_steps += 1
+        else:
+            # Out-of-order completion times (direct device users only):
+            # fall back to the original filter, preserving write order.
+            self.durability_scan_steps += len(pending)
+            kept = deque(p for p in pending if p.completion_time > now)
+            self._pending = kept
+            if not kept:
+                self._pending_monotone = True
 
     def pending_writes(self) -> int:
         """Number of writes that are visible but not yet durable."""
@@ -110,10 +185,12 @@ class SectorDevice:
         refuses I/O until :meth:`revive` is called.
         """
         self.mark_durable(now)
-        for pending in reversed(self._pending):
-            start = pending.sector * self.sector_size
-            self._data[start : start + len(pending.old_data)] = pending.old_data
-        self._pending.clear()
+        pending = self._pending
+        while pending:
+            record = pending.pop()  # reverse write order
+            start = record.sector * self.sector_size
+            self._data[start : start + len(record.old_data)] = record.old_data
+        self._pending_monotone = True
         self._crashed = True
 
     def revive(self) -> None:
@@ -135,17 +212,26 @@ class SectorDevice:
 
     @classmethod
     def load(cls, path: str, sector_size: int = SECTOR_SIZE) -> "SectorDevice":
-        """Recreate a device from a host file written by :meth:`save`."""
-        with open(path, "rb") as handle:
-            data = handle.read()
-        if not data or len(data) % sector_size:
+        """Recreate a device from a host file written by :meth:`save`.
+
+        The image is read straight into the device's backing buffer, so a
+        large disk image is allocated exactly once.
+        """
+        size = os.path.getsize(path)
+        if not size or size % sector_size:
             raise OutOfRangeError(
-                f"image {path!r} is {len(data)} bytes: not a whole number "
+                f"image {path!r} is {size} bytes: not a whole number "
                 f"of {sector_size}-byte sectors"
             )
-        device = cls(len(data) // sector_size, sector_size)
-        device._data = bytearray(data)
-        return device
+        data = bytearray(size)
+        with open(path, "rb") as handle:
+            read = handle.readinto(data)
+        if read != size:
+            raise OutOfRangeError(
+                f"image {path!r} truncated while reading: got {read} of "
+                f"{size} bytes"
+            )
+        return cls(size // sector_size, sector_size, initial_data=data)
 
     def __repr__(self) -> str:
         return (

@@ -133,7 +133,10 @@ class SimDisk:
             raise OutOfRangeError("cannot write zero bytes")
         issue = self.clock.now()
         start, done, tier = self._schedule(sector, len(data))
-        self.device.write(sector, data, completion_time=done)
+        # A synchronous request advances the clock to ``done`` before this
+        # method returns, so its undo record could never survive to a
+        # crash — tell the device not to allocate one.
+        self.device.write(sector, data, completion_time=done, durable=sync)
         self.stats.record(True, len(data), sync, tier.value, done - start)
         if self.trace is not None:
             self.trace.record(

@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 from repro.common.serialization import Packer, Unpacker, checksum
 from repro.errors import CorruptionError, NoInodesError, NoSpaceError

@@ -365,14 +365,11 @@ class FastFileSystem(BaseFileSystem):
             if key.kind is BlockKind.DATA:
                 inode = self._get_inode(key.inum)
                 addr = self.block_map.get(inode, key.index)
-                label = f"data inum {key.inum} lbn {key.index}"
             elif key.kind in (BlockKind.INDIRECT, BlockKind.DINDIRECT):
                 inode = self._get_inode(key.inum)
                 addr = self._pointer_block_addr(inode, key)
-                label = f"indirect inum {key.inum}"
             elif key.kind is BlockKind.INODE:
                 addr = self.layout.inode_table_block_addr(key.index)
-                label = f"inode table block {key.index}"
             else:
                 raise CorruptionError(f"unexpected dirty block kind: {key}")
             if addr == NIL:

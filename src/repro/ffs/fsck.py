@@ -12,10 +12,10 @@ system size — the property the recovery benchmark measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.common.directory import DirectoryBlock, entry_size
+from repro.common.directory import DirectoryBlock
 from repro.common.inode import (
     FileType,
     Inode,
@@ -146,7 +146,6 @@ class _Fsck:
         return True
 
     def check_blocks(self) -> None:
-        ppb = pointers_per_block(self.config.block_size)
         for inum, inode in sorted(self.inodes.items()):
             self.inode_bitmap.set(inum)
             for slot in range(N_DIRECT):

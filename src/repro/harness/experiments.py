@@ -9,8 +9,8 @@ benchmarks and examples format.  All reported times and rates are
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.write_cost import analytic_cleaning_rate, analytic_write_cost
 from repro.disk.geometry import DiskGeometry, wren_iv

@@ -33,7 +33,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List
 
-from repro.common.inode import BlockKey, BlockKind, Inode, INODE_SIZE, NIL
+from repro.common.inode import BlockKey, BlockKind, Inode, INODE_SIZE
 from repro.errors import CorruptionError
 from repro.lfs.segment_usage import SegmentState
 from repro.lfs.summary import SegmentSummary, SummaryEntry

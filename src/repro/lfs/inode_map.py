@@ -21,16 +21,22 @@ the segment writer.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Set
 
 from repro.common.inode import NIL
-from repro.common.serialization import Packer, Unpacker
 from repro.errors import CorruptionError, NoInodesError
 from repro.vfs.base import ROOT_INUM
 
 IMAP_ENTRY_SIZE = 24
 """Packed bytes per inode-map entry."""
+
+# Fixed layout: u64 inode_addr, u8 slot, u8 allocated, u32 version,
+# f64 atime, 2 pad bytes.  Precompiled: imap blocks are packed on every
+# flush and unpacked on every demand load / roll-forward replay.
+_ENTRY_PACK = struct.Struct("<QBBId2x")
+_ENTRY_UNPACK = struct.Struct("<QBBId")
 
 
 @dataclass
@@ -46,31 +52,28 @@ class ImapEntry:
     allocated: bool = False
 
     def pack(self) -> bytes:
-        return (
-            Packer()
-            .u64(self.inode_addr)
-            .u8(self.slot)
-            .u8(1 if self.allocated else 0)
-            .u32(self.version)
-            .f64(self.atime)
-            .raw(b"\x00\x00")  # pad to IMAP_ENTRY_SIZE
-            .bytes()
+        return _ENTRY_PACK.pack(
+            self.inode_addr,
+            self.slot,
+            1 if self.allocated else 0,
+            self.version,
+            self.atime,
         )
 
     @classmethod
     def unpack(cls, data: bytes) -> "ImapEntry":
-        unpacker = Unpacker(data)
-        inode_addr = unpacker.u64()
-        slot = unpacker.u8()
-        allocated = unpacker.u8() != 0
-        version = unpacker.u32()
-        atime = unpacker.f64()
+        try:
+            inode_addr, slot, allocated, version, atime = _ENTRY_UNPACK.unpack_from(
+                data
+            )
+        except struct.error as exc:
+            raise CorruptionError(f"truncated imap entry: {exc}") from exc
         return cls(
             inode_addr=inode_addr,
             slot=slot,
             version=version,
             atime=atime,
-            allocated=allocated,
+            allocated=allocated != 0,
         )
 
 
@@ -110,6 +113,29 @@ class InodeMap:
         self._check_inum(inum)
         return inum // self.entries_per_block
 
+    def _load_entries(self, index: int, data: bytes) -> None:
+        """Replace the entries of block ``index`` from packed bytes."""
+        first = index * self.entries_per_block
+        last = min(first + self.entries_per_block, self.max_inodes)
+        count = last - first
+        if len(data) < count * IMAP_ENTRY_SIZE:
+            raise CorruptionError(
+                f"imap block {index} holds {len(data)} bytes, "
+                f"need {count * IMAP_ENTRY_SIZE}"
+            )
+        view = memoryview(data)[: count * IMAP_ENTRY_SIZE]
+        entries = self._entries
+        for inum, (addr, slot, allocated, version, atime) in zip(
+            range(first, last), _ENTRY_PACK.iter_unpack(view)
+        ):
+            entries[inum] = ImapEntry(
+                inode_addr=addr,
+                slot=slot,
+                version=version,
+                atime=atime,
+                allocated=allocated != 0,
+            )
+
     def _ensure_loaded(self, index: int) -> None:
         if self._loaded[index]:
             return
@@ -119,14 +145,7 @@ class InodeMap:
                 raise CorruptionError(
                     f"imap block {index} not loaded and no fetch callback"
                 )
-            data = self._fetch(addr)
-            first = index * self.entries_per_block
-            last = min(first + self.entries_per_block, self.max_inodes)
-            for position, inum in enumerate(range(first, last)):
-                offset = position * IMAP_ENTRY_SIZE
-                self._entries[inum] = ImapEntry.unpack(
-                    data[offset : offset + IMAP_ENTRY_SIZE]
-                )
+            self._load_entries(index, self._fetch(addr))
             self.demand_loads += 1
         self._loaded[index] = True
 
@@ -250,21 +269,26 @@ class InodeMap:
         self._ensure_loaded(index)
         first = index * self.entries_per_block
         last = min(first + self.entries_per_block, self.max_inodes)
-        data = b"".join(
-            self._entries[inum].pack() for inum in range(first, last)
-        )
-        return data + b"\x00" * (self.block_size - len(data))
+        out = bytearray(self.block_size)
+        pack_into = _ENTRY_PACK.pack_into
+        entries = self._entries
+        for position, inum in enumerate(range(first, last)):
+            entry = entries[inum]
+            pack_into(
+                out,
+                position * IMAP_ENTRY_SIZE,
+                entry.inode_addr,
+                entry.slot,
+                1 if entry.allocated else 0,
+                entry.version,
+                entry.atime,
+            )
+        return bytes(out)
 
     def load_block(self, index: int, data: bytes) -> None:
         if not 0 <= index < self.num_blocks:
             raise CorruptionError(f"imap block index {index} out of range")
-        first = index * self.entries_per_block
-        last = min(first + self.entries_per_block, self.max_inodes)
-        for position, inum in enumerate(range(first, last)):
-            offset = position * IMAP_ENTRY_SIZE
-            self._entries[inum] = ImapEntry.unpack(
-                data[offset : offset + IMAP_ENTRY_SIZE]
-            )
+        self._load_entries(index, data)
         self._dirty_blocks.discard(index)
         self._loaded[index] = True
 

@@ -61,7 +61,6 @@ def roll_forward(
     report = RollForwardReport()
     start_time = fs.clock.now()
     layout = fs.layout
-    bs = fs.config.block_size
     bps = fs.config.blocks_per_segment
 
     seg = checkpoint.position.active_segment

@@ -9,19 +9,42 @@ recovery merely needs something plausible, not something exact.
 
 The array is persisted like the inode map: packed into blocks written to
 the log, with the checkpoint region recording block addresses.
+
+Hot-path discipline: the log tail and the cleaner consult this array on
+every segment advance and every cleaning-loop iteration, so the queries
+they use must not scan all ``num_segments`` entries.  The array keeps
+three derived indexes, maintained by every mutation:
+
+* per-state ``set``s (clean / dirty / active), making ``clean_count()``
+  and state membership O(1);
+* a lazy min-heap over the clean set, making ``min_clean()`` — the
+  "lowest-numbered clean segment" query behind the segment writer's
+  ``_pop_clean`` — amortized O(log n) instead of an O(n) scan;
+* a running ``total_live_bytes`` counter.
+
+``heap_pushes`` / ``heap_pops`` / ``min_clean_calls`` count the index
+maintenance work so the perf harness can assert the amortized-O(1)
+invariant (every heap entry is pushed once and popped at most once).
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
+import struct
 from dataclasses import dataclass
-from typing import Callable, List, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.common.inode import NIL
-from repro.common.serialization import Packer, Unpacker
 from repro.errors import CorruptionError
 
 USAGE_ENTRY_SIZE = 24
+
+# Fixed 24-byte on-disk layout: u64 live_bytes, f64 last_write, u8 state,
+# 7 pad bytes.  Precompiled Structs keep the cleaner/checkpoint paths off
+# the per-field Packer/Unpacker machinery.
+_INFO_PACK = struct.Struct("<QdB7x")
+_INFO_UNPACK = struct.Struct("<QdB")
 
 
 class SegmentState(enum.IntEnum):
@@ -37,21 +60,14 @@ class SegmentInfo:
     state: SegmentState = SegmentState.CLEAN
 
     def pack(self) -> bytes:
-        return (
-            Packer()
-            .u64(self.live_bytes)
-            .f64(self.last_write)
-            .u8(int(self.state))
-            .raw(b"\x00" * 7)
-            .bytes()
-        )
+        return _INFO_PACK.pack(self.live_bytes, self.last_write, int(self.state))
 
     @classmethod
     def unpack(cls, data: bytes) -> "SegmentInfo":
-        unpacker = Unpacker(data)
-        live = unpacker.u64()
-        last_write = unpacker.f64()
-        raw_state = unpacker.u8()
+        try:
+            live, last_write, raw_state = _INFO_UNPACK.unpack_from(data)
+        except struct.error as exc:
+            raise CorruptionError(f"truncated segment info: {exc}") from exc
         try:
             state = SegmentState(raw_state)
         except ValueError as exc:
@@ -82,6 +98,18 @@ class SegmentUsage:
 
         The estimate is allowed to be approximate but a large count here
         means double-accounting somewhere; tests assert it stays zero."""
+        # Derived indexes (see module docstring).  A fresh array is all
+        # clean, and range() is already a valid min-heap.
+        self._state_sets: Dict[SegmentState, Set[int]] = {
+            SegmentState.CLEAN: set(range(num_segments)),
+            SegmentState.DIRTY: set(),
+            SegmentState.ACTIVE: set(),
+        }
+        self._clean_heap: List[int] = list(range(num_segments))
+        self._total_live = 0
+        self.heap_pushes = num_segments
+        self.heap_pops = 0
+        self.min_clean_calls = 0
 
     def _check(self, seg: int) -> None:
         if not 0 <= seg < self.num_segments:
@@ -95,13 +123,31 @@ class SegmentUsage:
         self._dirty_blocks.add(seg // self.entries_per_block)
 
     # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+
+    def _set_state(self, seg: int, info: SegmentInfo, state: SegmentState) -> None:
+        if info.state is state:
+            return
+        self._state_sets[info.state].discard(seg)
+        self._state_sets[state].add(seg)
+        info.state = state
+        if state is SegmentState.CLEAN:
+            heapq.heappush(self._clean_heap, seg)
+            self.heap_pushes += 1
+
+    def _set_live(self, info: SegmentInfo, value: int) -> None:
+        self._total_live += value - info.live_bytes
+        info.live_bytes = value
+
+    # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
 
     def note_write(self, seg: int, nbytes: int, now: float) -> None:
         """Live bytes were appended to ``seg``."""
         info = self.info(seg)
-        info.live_bytes += nbytes
+        self._set_live(info, info.live_bytes + nbytes)
         if info.live_bytes > self.segment_size:
             raise CorruptionError(
                 f"segment {seg} accounts {info.live_bytes} live bytes, "
@@ -118,14 +164,14 @@ class SegmentUsage:
         failing.
         """
         info = self.info(seg)
-        info.live_bytes = min(self.segment_size, info.live_bytes + nbytes)
+        self._set_live(info, min(self.segment_size, info.live_bytes + nbytes))
         info.last_write = now
         self._touch(seg)
 
     def force_state(self, seg: int, state: SegmentState) -> None:
         """Set a segment's state without transition checks (recovery)."""
         info = self.info(seg)
-        info.state = state
+        self._set_state(seg, info, state)
         self._touch(seg)
 
     def note_dead(self, seg: int, nbytes: int) -> None:
@@ -133,9 +179,9 @@ class SegmentUsage:
         info = self.info(seg)
         if nbytes > info.live_bytes:
             self.underflow_clamps += 1
-            info.live_bytes = 0
+            self._set_live(info, 0)
         else:
-            info.live_bytes -= nbytes
+            self._set_live(info, info.live_bytes - nbytes)
         self._touch(seg)
 
     def utilization(self, seg: int) -> float:
@@ -151,18 +197,18 @@ class SegmentUsage:
             raise CorruptionError(
                 f"segment {seg} made active while {info.state.name}"
             )
-        info.state = SegmentState.ACTIVE
+        self._set_state(seg, info, SegmentState.ACTIVE)
         self._touch(seg)
 
     def mark_dirty(self, seg: int) -> None:
         info = self.info(seg)
-        info.state = SegmentState.DIRTY
+        self._set_state(seg, info, SegmentState.DIRTY)
         self._touch(seg)
 
     def mark_clean(self, seg: int, now: float) -> None:
         info = self.info(seg)
-        info.state = SegmentState.CLEAN
-        info.live_bytes = 0
+        self._set_state(seg, info, SegmentState.CLEAN)
+        self._set_live(info, 0)
         info.last_write = now
         self._touch(seg)
 
@@ -171,26 +217,54 @@ class SegmentUsage:
     # ------------------------------------------------------------------
 
     def clean_segments(self) -> List[int]:
-        return [
-            seg
-            for seg, info in enumerate(self._info)
-            if info.state is SegmentState.CLEAN
-        ]
+        return sorted(self._state_sets[SegmentState.CLEAN])
 
     def clean_count(self) -> int:
-        return sum(
-            1 for info in self._info if info.state is SegmentState.CLEAN
-        )
+        return len(self._state_sets[SegmentState.CLEAN])
 
     def dirty_segments(self) -> List[int]:
-        return [
-            seg
-            for seg, info in enumerate(self._info)
-            if info.state is SegmentState.DIRTY
-        ]
+        return sorted(self._state_sets[SegmentState.DIRTY])
 
     def total_live_bytes(self) -> int:
-        return sum(info.live_bytes for info in self._info)
+        return self._total_live
+
+    def min_clean(self) -> Optional[int]:
+        """Lowest-numbered clean segment, or ``None`` — amortized O(1).
+
+        Stale heap entries (segments that left the clean state since they
+        were pushed, or duplicates from repeated clean episodes) are
+        discarded lazily; each entry is pushed once and popped at most
+        once, so the work is bounded by the number of state transitions.
+        """
+        self.min_clean_calls += 1
+        heap = self._clean_heap
+        clean = self._state_sets[SegmentState.CLEAN]
+        while heap:
+            seg = heap[0]
+            if seg in clean:
+                return seg
+            heapq.heappop(heap)
+            self.heap_pops += 1
+        return None
+
+    def verify_indexes(self) -> None:
+        """Assert the derived indexes agree with a full scan (tests)."""
+        by_state: Dict[SegmentState, Set[int]] = {
+            state: set() for state in SegmentState
+        }
+        total = 0
+        for seg, info in enumerate(self._info):
+            by_state[info.state].add(seg)
+            total += info.live_bytes
+        if by_state != self._state_sets:
+            raise CorruptionError("segment state indexes diverged from scan")
+        if total != self._total_live:
+            raise CorruptionError(
+                f"live-byte counter {self._total_live} != scanned {total}"
+            )
+        clean = self._state_sets[SegmentState.CLEAN]
+        if clean and not any(seg in clean for seg in self._clean_heap):
+            raise CorruptionError("clean heap lost every clean segment")
 
     # ------------------------------------------------------------------
     # Block (de)serialization
@@ -210,19 +284,43 @@ class SegmentUsage:
             raise CorruptionError(f"usage block index {index} out of range")
         first = index * self.entries_per_block
         last = min(first + self.entries_per_block, self.num_segments)
-        data = b"".join(self._info[seg].pack() for seg in range(first, last))
-        return data + b"\x00" * (self.block_size - len(data))
+        out = bytearray(self.block_size)
+        pack_into = _INFO_PACK.pack_into
+        info = self._info
+        for position, seg in enumerate(range(first, last)):
+            entry = info[seg]
+            pack_into(
+                out,
+                position * USAGE_ENTRY_SIZE,
+                entry.live_bytes,
+                entry.last_write,
+                int(entry.state),
+            )
+        return bytes(out)
 
     def load_block(self, index: int, data: bytes) -> None:
         if not 0 <= index < self.num_blocks:
             raise CorruptionError(f"usage block index {index} out of range")
         first = index * self.entries_per_block
         last = min(first + self.entries_per_block, self.num_segments)
-        for position, seg in enumerate(range(first, last)):
-            offset = position * USAGE_ENTRY_SIZE
-            self._info[seg] = SegmentInfo.unpack(
-                data[offset : offset + USAGE_ENTRY_SIZE]
+        count = last - first
+        if len(data) < count * USAGE_ENTRY_SIZE:
+            raise CorruptionError(
+                f"usage block {index} holds {len(data)} bytes, "
+                f"need {count * USAGE_ENTRY_SIZE}"
             )
+        view = memoryview(data)[: count * USAGE_ENTRY_SIZE]
+        for seg, (live, last_write, raw_state) in zip(
+            range(first, last), _INFO_PACK.iter_unpack(view)
+        ):
+            try:
+                state = SegmentState(raw_state)
+            except ValueError as exc:
+                raise CorruptionError(f"bad segment state {raw_state}") from exc
+            info = self._info[seg]
+            self._set_live(info, live)
+            self._set_state(seg, info, state)
+            info.last_write = last_write
         self._dirty_blocks.discard(index)
 
     def load_all(

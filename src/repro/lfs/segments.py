@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.common.inode import NIL
 from repro.disk.sim_disk import SimDisk
 from repro.errors import CleanerError, NoSpaceError
 from repro.lfs.config import LfsLayout
@@ -105,15 +104,18 @@ class SegmentManager:
         )
 
     def _pop_clean(self) -> int:
-        clean = self.usage.clean_segments()
-        if not self.cleaner_mode and len(clean) <= self.reserve_segments:
+        # O(1) clean-count check plus an amortized-O(1) min-heap pop;
+        # the old full clean_segments() scan made every segment advance
+        # cost O(num_segments).
+        nclean = self.usage.clean_count()
+        if not self.cleaner_mode and nclean <= self.reserve_segments:
             raise NoSpaceError(
-                f"only {len(clean)} clean segments left "
+                f"only {nclean} clean segments left "
                 f"(reserve is {self.reserve_segments}); cleaning required"
             )
-        if not clean:
+        seg = self.usage.min_clean()
+        if seg is None:
             raise NoSpaceError("no clean segments at all: file system full")
-        seg = clean[0]
         self.usage.mark_active(seg)
         return seg
 
@@ -142,7 +144,6 @@ class SegmentManager:
         remaining in the active segment.  Each partial segment goes to
         the disk as a single asynchronous request.
         """
-        bs = self.layout.config.block_size
         total_bytes = 0
         index = 0
         while index < len(plan):

@@ -17,16 +17,27 @@ scanned.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from repro.common.inode import BlockKind, NIL
-from repro.common.serialization import Packer, Unpacker, checksum
+from repro.common.serialization import U32, checksum
 from repro.errors import CorruptionError
 from repro.lfs.config import SUMMARY_MAGIC
 
 _HEADER_SIZE = 4 + 8 + 8 + 8 + 4 + 2 + 4  # through the checksum field
 _ENTRY_BASE_SIZE = 1 + 4 + 8 + 4 + 2
+
+# Precompiled layouts (summaries are packed on every flush and unpacked
+# on every cleaning pass and roll-forward, so this is a hot path).  The
+# CRC field sits between the header prefix and the entry bytes; it
+# covers prefix + entries, exactly as serialized.
+_HEADER_PREFIX = struct.Struct("<IQdQIH")  # magic seq ts next nentries nsummary
+_ENTRY_HEAD = struct.Struct("<BIQIH")  # kind inum index version ninums
+_CRC_OFFSET = _HEADER_PREFIX.size
+assert _CRC_OFFSET + U32.size == _HEADER_SIZE
+assert _ENTRY_HEAD.size == _ENTRY_BASE_SIZE
 
 
 @dataclass(frozen=True)
@@ -43,30 +54,40 @@ class SummaryEntry:
     def packed_size(self) -> int:
         return _ENTRY_BASE_SIZE + 4 * len(self.inums)
 
-    def pack_into(self, packer: Packer) -> None:
-        packer.u8(int(self.kind))
-        packer.u32(self.inum)
-        packer.u64(self.index)
-        packer.u32(self.version)
-        packer.u16(len(self.inums))
-        for inum in self.inums:
-            packer.u32(inum)
+    def pack(self) -> bytes:
+        head = _ENTRY_HEAD.pack(
+            int(self.kind), self.inum, self.index, self.version, len(self.inums)
+        )
+        if not self.inums:
+            return head
+        return head + struct.pack(f"<{len(self.inums)}I", *self.inums)
 
     @classmethod
-    def unpack_from(cls, unpacker: Unpacker) -> "SummaryEntry":
-        raw_kind = unpacker.u8()
+    def unpack_from(cls, data: bytes, offset: int) -> "Tuple[SummaryEntry, int]":
+        """Parse one entry at ``offset``; returns (entry, next offset)."""
+        try:
+            raw_kind, inum, index, version, count = _ENTRY_HEAD.unpack_from(
+                data, offset
+            )
+        except struct.error as exc:
+            raise CorruptionError(f"truncated summary entry: {exc}") from exc
         try:
             kind = BlockKind(raw_kind)
         except ValueError as exc:
             raise CorruptionError(f"bad summary block kind {raw_kind}") from exc
-        inum = unpacker.u32()
-        index = unpacker.u64()
-        version = unpacker.u32()
-        count = unpacker.u16()
-        inums = tuple(unpacker.u32() for _ in range(count))
-        return cls(
+        offset += _ENTRY_HEAD.size
+        if count:
+            try:
+                inums = struct.unpack_from(f"<{count}I", data, offset)
+            except struct.error as exc:
+                raise CorruptionError(f"truncated summary entry: {exc}") from exc
+            offset += 4 * count
+        else:
+            inums = ()
+        entry = cls(
             kind=kind, inum=inum, index=index, version=version, inums=inums
         )
+        return entry, offset
 
 
 @dataclass
@@ -95,22 +116,17 @@ class SegmentSummary:
 
     def pack(self, block_size: int) -> bytes:
         nsummary = self.summary_blocks(block_size)
-        body = Packer()
-        for entry in self.entries:
-            entry.pack_into(body)
-        body_bytes = body.bytes()
-        header = (
-            Packer()
-            .u32(SUMMARY_MAGIC)
-            .u64(self.seq)
-            .f64(self.timestamp)
-            .u64(self.next_segment_block)
-            .u32(len(self.entries))
-            .u16(nsummary)
+        body_bytes = b"".join(entry.pack() for entry in self.entries)
+        prefix = _HEADER_PREFIX.pack(
+            SUMMARY_MAGIC,
+            self.seq,
+            self.timestamp,
+            self.next_segment_block,
+            len(self.entries),
+            nsummary,
         )
-        crc = checksum(header.bytes() + body_bytes)
-        header.u32(crc)
-        data = header.bytes() + body_bytes
+        crc = checksum(prefix + body_bytes)
+        data = prefix + U32.pack(crc) + body_bytes
         padded_size = nsummary * block_size
         if len(data) > padded_size:
             raise AssertionError(
@@ -126,35 +142,35 @@ class SegmentSummary:
         spans several blocks the caller must supply them all (the header
         says how many — use :meth:`peek_summary_blocks` first).
         """
-        unpacker = Unpacker(data)
-        magic = unpacker.u32()
+        if len(data) < _HEADER_SIZE:
+            raise CorruptionError(
+                f"truncated summary header: {len(data)} bytes"
+            )
+        (
+            magic,
+            seq,
+            timestamp,
+            next_segment_block,
+            nentries,
+            nsummary,
+        ) = _HEADER_PREFIX.unpack_from(data)
         if magic != SUMMARY_MAGIC:
             raise CorruptionError(f"bad summary magic 0x{magic:08x}")
-        seq = unpacker.u64()
-        timestamp = unpacker.f64()
-        next_segment_block = unpacker.u64()
-        nentries = unpacker.u32()
-        nsummary = unpacker.u16()
-        crc = unpacker.u32()
+        (crc,) = U32.unpack_from(data, _CRC_OFFSET)
         if nsummary * block_size > len(data):
             raise CorruptionError(
                 f"summary claims {nsummary} blocks, only "
                 f"{len(data) // block_size} supplied"
             )
-        entries = [SummaryEntry.unpack_from(unpacker) for _ in range(nentries)]
-        verify = (
-            Packer()
-            .u32(magic)
-            .u64(seq)
-            .f64(timestamp)
-            .u64(next_segment_block)
-            .u32(nentries)
-            .u16(nsummary)
-        )
-        body = Packer()
-        for entry in entries:
-            entry.pack_into(body)
-        if checksum(verify.bytes() + body.bytes()) != crc:
+        entries: List[SummaryEntry] = []
+        offset = _HEADER_SIZE
+        for _ in range(nentries):
+            entry, offset = SummaryEntry.unpack_from(data, offset)
+            entries.append(entry)
+        # Every field decodes bijectively, so checksumming the raw bytes
+        # we just parsed is equivalent to re-packing them (and much
+        # cheaper — the cleaner unpacks a summary per partial segment).
+        if checksum(data[:_CRC_OFFSET] + data[_HEADER_SIZE:offset]) != crc:
             raise CorruptionError(f"summary checksum mismatch at seq {seq}")
         return cls(
             seq=seq,
@@ -166,15 +182,12 @@ class SegmentSummary:
     @staticmethod
     def peek_summary_blocks(first_block: bytes, block_size: int) -> int:
         """How many blocks this summary spans, validating magic only."""
-        unpacker = Unpacker(first_block)
-        magic = unpacker.u32()
+        try:
+            magic, _, _, _, _, nsummary = _HEADER_PREFIX.unpack_from(first_block)
+        except struct.error as exc:
+            raise CorruptionError(f"truncated summary header: {exc}") from exc
         if magic != SUMMARY_MAGIC:
             raise CorruptionError(f"bad summary magic 0x{magic:08x}")
-        unpacker.u64()  # seq
-        unpacker.f64()  # timestamp
-        unpacker.u64()  # next segment
-        unpacker.u32()  # entry count
-        nsummary = unpacker.u16()
         if nsummary == 0:
             raise CorruptionError("summary claims zero blocks")
         return nsummary

@@ -30,7 +30,6 @@ from typing import Dict, List, Set, Tuple
 
 from repro.common.directory import DirectoryBlock
 from repro.common.inode import (
-    FileType,
     Inode,
     INODE_SIZE,
     N_DIRECT,
@@ -269,7 +268,6 @@ class _Verifier:
                 continue
             visited.add(dir_inum)
             self.report.directories_checked += 1
-            dir_inode = inodes[dir_inum]
             for lbn, addr in sorted(file_maps[dir_inum].items()):
                 try:
                     block = DirectoryBlock.decode(

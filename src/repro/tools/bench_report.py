@@ -1,0 +1,144 @@
+"""Build, persist and compare wall-clock perf reports.
+
+``benchmarks/perf_harness.py`` times the *simulator itself* (Python
+wall-clock, not simulated seconds) on the paper's workloads and records
+the results as JSON — ``BENCH_hotpaths.json`` at the repository root —
+so the performance trajectory of the hot paths is tracked from PR to PR
+and regressions are visible in review.
+
+The schema is deliberately small and stable:
+
+* ``workloads.<name>.after`` — the current implementation's numbers;
+* ``workloads.<name>.before`` — the same workload with the pre-PR
+  (O(num_segments) scans, O(pending) durability, Packer-per-field
+  serialization) implementations patched back in, when the harness was
+  run with the comparison enabled;
+* ``workloads.<name>.speedup`` — before/after wall-clock ratio;
+* ``probes`` — operation-count evidence that the O(1) invariants hold
+  (see :mod:`repro.lfs.segment_usage` and :mod:`repro.disk.device`);
+* ``checks`` — pass/fail booleans the harness asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+SCHEMA_VERSION = 1
+
+
+def workload_entry(
+    wall_seconds: float,
+    ops: int,
+    simulated_seconds: float,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One timed run of one workload."""
+    entry: Dict[str, Any] = {
+        "wall_seconds": round(wall_seconds, 6),
+        "ops": ops,
+        "ops_per_second": round(ops / wall_seconds, 2) if wall_seconds > 0 else None,
+        "simulated_seconds": round(simulated_seconds, 6),
+    }
+    if extra:
+        entry["extra"] = extra
+    return entry
+
+
+def build_report(
+    scale: str,
+    workloads: Dict[str, Dict[str, Any]],
+    probes: Dict[str, Any],
+    checks: Dict[str, bool],
+) -> Dict[str, Any]:
+    """Assemble the full report dict (see module docstring for schema)."""
+    for name, entry in workloads.items():
+        before = entry.get("before")
+        after = entry.get("after")
+        if before and after and after["wall_seconds"] > 0:
+            entry["speedup"] = round(
+                before["wall_seconds"] / after["wall_seconds"], 3
+            )
+    return {
+        "schema": SCHEMA_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": sys.argv[1:],
+        "scale": scale,
+        "workloads": workloads,
+        "probes": probes,
+        "checks": checks,
+    }
+
+
+def write_report(path: str, report: Dict[str, Any]) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported bench report schema {report.get('schema')!r} "
+            f"in {path!r}"
+        )
+    return report
+
+
+def find_regressions(
+    old: Dict[str, Any], new: Dict[str, Any], tolerance: float = 0.30
+) -> List[str]:
+    """Workloads whose wall-clock got worse than ``tolerance`` vs ``old``.
+
+    Wall-clock numbers are machine-dependent; this is only meaningful
+    when both reports come from the same machine (CI runners, local
+    before/after runs).  Returns human-readable descriptions, empty if
+    nothing regressed.
+    """
+    regressions: List[str] = []
+    for name, entry in old.get("workloads", {}).items():
+        old_after = entry.get("after")
+        new_after = new.get("workloads", {}).get(name, {}).get("after")
+        if not old_after or not new_after:
+            continue
+        old_wall = old_after["wall_seconds"]
+        new_wall = new_after["wall_seconds"]
+        if old_wall > 0 and new_wall > old_wall * (1.0 + tolerance):
+            regressions.append(
+                f"{name}: {old_wall:.3f}s -> {new_wall:.3f}s "
+                f"({new_wall / old_wall:.2f}x, tolerance {1 + tolerance:.2f}x)"
+            )
+    return regressions
+
+
+def summarize(report: Dict[str, Any]) -> str:
+    """Render the report as a terminal table."""
+    lines = [
+        f"perf harness — scale={report['scale']}  "
+        f"python={report['python']}  {report['generated_at']}",
+        f"{'workload':<28} {'after s':>9} {'ops/s':>10} "
+        f"{'before s':>9} {'speedup':>8}",
+    ]
+    for name, entry in report["workloads"].items():
+        after = entry.get("after") or {}
+        before = entry.get("before") or {}
+        lines.append(
+            f"{name:<28} "
+            f"{after.get('wall_seconds', float('nan')):>9.3f} "
+            f"{(after.get('ops_per_second') or 0):>10.1f} "
+            + (
+                f"{before['wall_seconds']:>9.3f} {entry.get('speedup', 0):>7.2f}x"
+                if before
+                else f"{'-':>9} {'-':>8}"
+            )
+        )
+    for name, ok in report["checks"].items():
+        lines.append(f"  check {name}: {'ok' if ok else 'FAILED'}")
+    return "\n".join(lines)

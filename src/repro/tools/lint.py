@@ -1,0 +1,184 @@
+"""A dependency-free linter for the two classes of dead code this repo
+cares about: unused imports and write-only local variables.
+
+The container this project builds in has no third-party linter, so this
+module is the fallback for ``make lint`` — when ``ruff`` is installed
+the Makefile prefers it (configuration in ``pyproject.toml``), and this
+tool is written to be a strict subset of what ruff's F401/F841 would
+flag.  It is deliberately conservative: a check that cannot be decided
+from the AST alone is skipped rather than guessed.
+
+Usage::
+
+    python -m repro.tools.lint [paths...]     # defaults to src tests benchmarks
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterator, List, Set, Tuple
+
+_DYNAMIC_SCOPE_CALLS = {"locals", "vars", "eval", "exec", "globals"}
+
+
+def _iter_python_files(paths: List[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [
+                d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+            ]
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def _noqa_lines(source: str) -> Set[int]:
+    return {
+        number
+        for number, line in enumerate(source.splitlines(), start=1)
+        if "# noqa" in line
+    }
+
+
+def _used_names(tree: ast.AST) -> Set[str]:
+    """Every identifier the module could reference, including string
+    annotations (``from __future__ import annotations`` keeps them as
+    AST nodes, so plain Name collection covers those too) and __all__."""
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # the chain root is a Name and already collected
+            continue
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # __all__ entries, forward references in annotations
+            used.add(node.value)
+    return used
+
+
+def _check_unused_imports(
+    path: str, tree: ast.Module, noqa: Set[int]
+) -> Iterator[Tuple[str, int, str]]:
+    if os.path.basename(path) == "__init__.py":
+        return  # packages import for re-export
+    used = _used_names(tree)
+    for node in ast.walk(tree):
+        names = []
+        if isinstance(node, ast.Import):
+            names = node.names
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            names = node.names
+        for alias in names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name.split(".")[0]
+            if bound in used or node.lineno in noqa:
+                continue
+            yield (
+                path,
+                node.lineno,
+                f"F401 `{alias.asname or alias.name}` imported but unused",
+            )
+
+
+def _function_has_dynamic_scope(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _DYNAMIC_SCOPE_CALLS
+        ):
+            return True
+    return False
+
+
+def _check_unused_locals(
+    path: str, tree: ast.Module, noqa: Set[int]
+) -> Iterator[Tuple[str, int, str]]:
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if _function_has_dynamic_scope(func):
+            continue
+        declared_elsewhere: Set[str] = set()
+        stores: dict[str, int] = {}
+        loads: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                declared_elsewhere.update(node.names)
+            elif isinstance(node, ast.Name):
+                if isinstance(node.ctx, ast.Load):
+                    loads.add(node.id)
+                elif isinstance(node.ctx, ast.Del):
+                    loads.add(node.id)
+            # Only plain single-target assignments: loop variables,
+            # tuple unpacking, with-targets and walrus all have common
+            # intentionally-unused idioms.
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    stores.setdefault(target.id, node.lineno)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                loads.add(node.target.id)
+        for name, lineno in sorted(stores.items(), key=lambda item: item[1]):
+            if (
+                name.startswith("_")
+                or name in loads
+                or name in declared_elsewhere
+                or lineno in noqa
+            ):
+                continue
+            yield (
+                path,
+                lineno,
+                f"F841 local variable `{name}` is assigned to but never used",
+            )
+
+
+def lint_file(path: str) -> List[Tuple[str, int, str]]:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, f"E999 syntax error: {exc.msg}")]
+    noqa = _noqa_lines(source)
+    findings = list(_check_unused_imports(path, tree, noqa))
+    findings.extend(_check_unused_locals(path, tree, noqa))
+    return findings
+
+
+def main(argv: List[str] | None = None) -> int:
+    paths = (argv if argv is not None else sys.argv[1:]) or [
+        "src",
+        "tests",
+        "benchmarks",
+    ]
+    findings: List[Tuple[str, int, str]] = []
+    checked = 0
+    for path in _iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(path))
+    findings.sort()
+    for file_path, lineno, message in findings:
+        print(f"{file_path}:{lineno}: {message}")
+    print(
+        f"{len(findings)} finding(s) in {checked} file(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

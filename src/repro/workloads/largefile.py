@@ -17,7 +17,7 @@ while the update-in-place baseline kept them sequential.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.units import KIB, MIB

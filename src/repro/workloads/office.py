@@ -12,9 +12,8 @@ and compares write cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.units import KIB
 from repro.vfs.interface import StorageManager
 from repro.workloads.generator import FileSizeSampler, ZipfPicker
 

@@ -10,7 +10,6 @@ service times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import CorruptionError
 from repro.vfs.interface import StorageManager

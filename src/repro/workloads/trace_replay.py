@@ -27,7 +27,7 @@ reproducible and reads can be verified against a parallel model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List
 
 from repro.errors import InvalidArgumentError
 from repro.vfs.interface import StorageManager

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.disk.geometry import DiskGeometry, NULL_TIMING, wren_iv
+from repro.disk.geometry import wren_iv
 from repro.disk.sim_disk import SimDisk
 from repro.disk.trace import TraceRecorder
 from repro.ffs.config import FfsConfig

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.disk.geometry import DiskGeometry, WREN_IV, wren_iv
+from repro.disk.geometry import wren_iv
 from repro.disk.sim_disk import SimDisk
 from repro.disk.trace import AccessTier, TraceRecorder
 from repro.sim.clock import SimClock

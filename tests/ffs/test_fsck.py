@@ -1,6 +1,5 @@
 """Tests for fsck: the whole-disk scan and repair (§4.4's contrast)."""
 
-import pytest
 
 from repro.ffs.filesystem import FastFileSystem
 from repro.ffs.fsck import fsck

@@ -9,7 +9,6 @@ a mountable, traversable file system.
 
 import pytest
 
-from repro.errors import FileSystemError, ReproError
 from repro.ffs.filesystem import FastFileSystem
 from repro.ffs.fsck import fsck
 from repro.lfs.filesystem import LogStructuredFS

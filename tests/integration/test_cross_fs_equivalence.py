@@ -9,7 +9,6 @@ import random
 
 import pytest
 
-from repro.errors import FileSystemError
 from repro.ffs.filesystem import FastFileSystem
 from repro.lfs.filesystem import LogStructuredFS
 from tests.conftest import small_ffs_config, small_lfs_config

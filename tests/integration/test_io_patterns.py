@@ -11,7 +11,6 @@ from repro.disk.trace import AccessTier, TraceRecorder
 from repro.disk.geometry import wren_iv
 from repro.ffs.filesystem import FastFileSystem
 from repro.lfs.filesystem import LogStructuredFS
-from repro.sim.cpu import CpuModel
 from repro.units import MIB
 from tests.conftest import small_ffs_config, small_lfs_config
 

@@ -1,6 +1,5 @@
 """Large-file edge cases: indirect trees under churn and cleaning."""
 
-import pytest
 
 from repro.common.inode import N_DIRECT, pointers_per_block
 from repro.lfs.filesystem import LogStructuredFS

@@ -1,8 +1,7 @@
 """Behavioural tests for the segment cleaner (§4.3.2-§4.3.4)."""
 
-import pytest
 
-from repro.lfs.cleaner import CleanerPolicy, SegmentCleaner
+from repro.lfs.cleaner import CleanerPolicy
 from repro.lfs.filesystem import LogStructuredFS
 from repro.lfs.segment_usage import SegmentState
 from tests.conftest import small_lfs_config

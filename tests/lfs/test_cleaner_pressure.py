@@ -11,7 +11,6 @@ import pytest
 
 from repro.errors import NoSpaceError
 from repro.lfs.filesystem import LogStructuredFS
-from repro.lfs.verify import verify_lfs
 from tests.conftest import small_lfs_config
 from repro.units import KIB, MIB
 

@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.common.inode import BlockKind, NIL
-from repro.errors import (
-    FileExistsError_,
-    FileNotFoundError_,
-    IsADirectoryError_,
-    NoSpaceError,
-    StaleHandleError,
-)
+from repro.errors import NoSpaceError, StaleHandleError
 from repro.lfs.filesystem import LogStructuredFS, SuperBlock
 from tests.conftest import small_lfs_config
 

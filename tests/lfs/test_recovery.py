@@ -1,8 +1,7 @@
 """Crash-recovery tests: checkpoint mount and roll-forward (§4.4)."""
 
-import pytest
 
-from repro.lfs.config import LfsConfig
+
 from repro.lfs.filesystem import LogStructuredFS
 from tests.conftest import small_lfs_config
 

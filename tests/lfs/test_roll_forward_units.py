@@ -6,11 +6,8 @@ continuity, stale-summary rejection, the next-segment fallback, and
 report bookkeeping.
 """
 
-import pytest
 
 from repro.lfs.filesystem import LogStructuredFS
-from repro.lfs.recovery import roll_forward
-from repro.lfs.summary import SegmentSummary
 from tests.conftest import small_lfs_config
 
 

@@ -1,0 +1,144 @@
+"""Fuzz the segment-usage derived indexes (state sets, running live-byte
+total, lazy clean-heap) against a brute-force scan of the entry array.
+
+The queries the cleaner sits in a loop calling — ``clean_count``,
+``dirty_segments``, ``min_clean``, ``total_live_bytes`` — are answered
+from indexes maintained incrementally by every mutator.  These tests
+drive random mutator sequences (including serialization round-trips,
+which replace entry contents wholesale) and assert the indexes never
+drift from the ground truth."""
+
+import random
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.lfs.segment_usage import SegmentState, SegmentUsage
+
+SEGMENT_SIZE = 8192
+BLOCK_SIZE = 4096
+
+
+def make_usage(num_segments: int = 37) -> SegmentUsage:
+    return SegmentUsage(num_segments, SEGMENT_SIZE, BLOCK_SIZE)
+
+
+def scan_truth(usage: SegmentUsage):
+    """Recompute every derived quantity from the raw entry array."""
+    by_state = {state: [] for state in SegmentState}
+    total_live = 0
+    for seg in range(usage.num_segments):
+        info = usage.info(seg)
+        by_state[info.state].append(seg)
+        total_live += info.live_bytes
+    return by_state, total_live
+
+
+def assert_indexes_match(usage: SegmentUsage) -> None:
+    by_state, total_live = scan_truth(usage)
+    assert usage.clean_segments() == by_state[SegmentState.CLEAN]
+    assert usage.clean_count() == len(by_state[SegmentState.CLEAN])
+    assert usage.dirty_segments() == by_state[SegmentState.DIRTY]
+    assert usage.total_live_bytes() == total_live
+    clean = by_state[SegmentState.CLEAN]
+    assert usage.min_clean() == (clean[0] if clean else None)
+    usage.verify_indexes()  # the library's own cross-check agrees
+
+
+def random_mutation(usage: SegmentUsage, rng: random.Random) -> None:
+    seg = rng.randrange(usage.num_segments)
+    info = usage.info(seg)
+    op = rng.randrange(7)
+    if op == 0:
+        if info.state is SegmentState.CLEAN:
+            usage.mark_active(seg)
+    elif op == 1:
+        usage.mark_dirty(seg)
+    elif op == 2:
+        usage.mark_clean(seg, now=rng.random() * 100)
+    elif op == 3:
+        headroom = usage.segment_size - info.live_bytes
+        if headroom:
+            usage.note_write(seg, rng.randrange(1, headroom + 1), rng.random())
+    elif op == 4:
+        # Deliberately overshoots sometimes: the underflow clamp is part
+        # of the accounting and must keep the running total consistent.
+        usage.note_dead(seg, rng.randrange(1, usage.segment_size + 1))
+    elif op == 5:
+        usage.force_state(seg, rng.choice(list(SegmentState)))
+    else:
+        usage.note_write_hint(seg, rng.randrange(2 * usage.segment_size), rng.random())
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_indexes_agree_with_full_scan_under_fuzz(seed):
+    rng = random.Random(seed)
+    usage = make_usage()
+    assert_indexes_match(usage)
+    for step in range(400):
+        random_mutation(usage, rng)
+        if step % 7 == 0:
+            assert_indexes_match(usage)
+    assert_indexes_match(usage)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_indexes_survive_block_roundtrip(seed):
+    """pack_block/load_block replace entry contents wholesale; the
+    derived indexes must track the loaded values, not the old ones."""
+    rng = random.Random(1000 + seed)
+    source = make_usage()
+    target = make_usage()
+    for _ in range(300):
+        random_mutation(source, rng)
+        random_mutation(target, rng)  # diverge target from source
+    for index in range(source.num_blocks):
+        target.load_block(index, source.pack_block(index))
+    assert_indexes_match(target)
+    for seg in range(source.num_segments):
+        assert target.info(seg).state is source.info(seg).state
+        assert target.info(seg).live_bytes == source.info(seg).live_bytes
+    assert target.total_live_bytes() == source.total_live_bytes()
+
+
+def test_load_all_resets_previous_state():
+    rng = random.Random(7)
+    usage = make_usage()
+    for _ in range(200):
+        random_mutation(usage, rng)
+    blocks = {index: usage.pack_block(index) for index in range(usage.num_blocks)}
+    fresh = make_usage()
+    for _ in range(150):
+        random_mutation(fresh, rng)
+    fresh.load_all(list(usage.block_addrs), lambda addr: b"")  # addrs are NIL
+    for index, data in blocks.items():
+        fresh.load_block(index, data)
+    assert_indexes_match(fresh)
+
+
+def test_min_clean_heap_is_amortized_constant():
+    """Every heap entry is pushed once per to-CLEAN transition and popped
+    at most once ever, no matter how many times min_clean is called."""
+    usage = make_usage(num_segments=64)
+    rng = random.Random(42)
+    transitions_to_clean = usage.num_segments  # the initial population
+    for _ in range(2000):
+        seg = rng.randrange(usage.num_segments)
+        if usage.info(seg).state is SegmentState.CLEAN and rng.random() < 0.5:
+            usage.mark_active(seg)
+            usage.mark_dirty(seg)
+        else:
+            if usage.info(seg).state is not SegmentState.CLEAN:
+                transitions_to_clean += 1
+            usage.mark_clean(seg, 0.0)
+        usage.min_clean()  # hammer the query
+    assert usage.heap_pushes == transitions_to_clean
+    assert usage.heap_pops <= usage.heap_pushes
+
+
+def test_verify_indexes_detects_corruption():
+    usage = make_usage()
+    usage._state_sets[SegmentState.DIRTY].add(3)  # sabotage
+    usage._state_sets[SegmentState.CLEAN].discard(3)
+    with pytest.raises(CorruptionError):
+        usage.verify_indexes()

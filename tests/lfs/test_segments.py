@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.common.inode import BlockKind, NIL
+from repro.common.inode import BlockKind
 from repro.disk.geometry import wren_iv
 from repro.disk.sim_disk import SimDisk
 from repro.errors import CleanerError, NoSpaceError
 from repro.lfs.config import LfsConfig, LfsLayout
-from repro.lfs.segments import LogPosition, PlannedBlock, SegmentManager
+from repro.lfs.segments import PlannedBlock, SegmentManager
 from repro.lfs.segment_usage import SegmentState, SegmentUsage
 from repro.lfs.summary import SegmentSummary, SummaryEntry
 from repro.sim.clock import SimClock

@@ -7,14 +7,12 @@ every step.  This is the test that hunts for cross-feature interactions
 (e.g. cleaning a segment whose file was just truncated).
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
     invariant,
-    precondition,
     rule,
 )
 

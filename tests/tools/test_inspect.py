@@ -1,6 +1,5 @@
 """Tests for raw-image inspection."""
 
-import pytest
 
 from repro.tools.inspect import describe_ffs, describe_image, describe_lfs, identify
 

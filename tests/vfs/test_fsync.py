@@ -40,7 +40,6 @@ class TestFsyncSemantics:
 
     def test_ffs_fsync_writes_only_that_file(self, ffs):
         ffs.write_file("/other", b"o" * 8192 * 4)  # stays dirty
-        writes_before = ffs.disk.stats.writes
         with ffs.create("/mine") as handle:
             handle.write(b"m" * 8192)
             sync_point = ffs.disk.stats.writes

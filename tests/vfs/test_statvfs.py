@@ -1,6 +1,5 @@
 """Tests for the statvfs capacity report (both systems)."""
 
-import pytest
 
 
 class TestStatvfs:

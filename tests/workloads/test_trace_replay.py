@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import InvalidArgumentError
 from repro.workloads.trace_replay import (
-    TraceOp,
     parse_trace,
     replay,
     replay_text,

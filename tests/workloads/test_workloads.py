@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import InvalidArgumentError
-from repro.harness import new_rig
 from repro.units import KIB, MIB
 from repro.workloads.cleaning import run_cleaning_rate_test
 from repro.workloads.generator import FileSizeSampler, ZipfPicker
