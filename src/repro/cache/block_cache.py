@@ -21,6 +21,7 @@ from typing import Deque, Iterator, List, Optional, Tuple, Union
 
 from repro.common.inode import BlockKey, BlockKind
 from repro.errors import InvalidArgumentError
+from repro.obs import NULL_TELEMETRY, Telemetry
 
 Payload = Union[bytearray, List[int]]
 
@@ -66,7 +67,12 @@ class CacheStats:
 class BlockCache:
     """LRU block cache sized in bytes."""
 
-    def __init__(self, capacity_bytes: int, block_size: int) -> None:
+    def __init__(
+        self,
+        capacity_bytes: int,
+        block_size: int,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         if capacity_bytes < block_size:
             raise InvalidArgumentError(
                 f"cache capacity {capacity_bytes} smaller than one "
@@ -79,6 +85,13 @@ class BlockCache:
         self._dirty_bytes = 0
         self._dirty_fifo: Deque[Tuple[BlockKey, float]] = deque()
         self.stats = CacheStats()
+        obs = telemetry or NULL_TELEMETRY
+        self._obs_enabled = obs.enabled
+        self._m_hits = obs.counter("cache.hits")
+        self._m_misses = obs.counter("cache.misses")
+        self._m_insertions = obs.counter("cache.insertions")
+        self._m_evictions = obs.counter("cache.evictions")
+        self._m_dirty_bytes = obs.gauge("cache.dirty_bytes")
 
     # ------------------------------------------------------------------
     # Lookup / insertion
@@ -88,8 +101,12 @@ class BlockCache:
         block = self._blocks.get(key)
         if block is None:
             self.stats.misses += 1
+            if self._obs_enabled:
+                self._m_misses.inc()
             return None
         self.stats.hits += 1
+        if self._obs_enabled:
+            self._m_hits.inc()
         self._blocks.move_to_end(key)
         return block
 
@@ -111,8 +128,12 @@ class BlockCache:
         self._blocks[key] = block
         self._by_inum.setdefault(key.inum, set()).add(key)
         self.stats.insertions += 1
+        if self._obs_enabled:
+            self._m_insertions.inc()
         if dirty:
             self._note_dirty(block, now)
+        elif self._obs_enabled:
+            self._m_dirty_bytes.set(self._dirty_bytes)
         self._evict_to_capacity()
         return block
 
@@ -128,12 +149,16 @@ class BlockCache:
         block.dirty_since = now
         self._dirty_bytes += self.block_size
         self._dirty_fifo.append((block.key, now))
+        if self._obs_enabled:
+            self._m_dirty_bytes.set(self._dirty_bytes)
 
     def mark_clean(self, key: BlockKey) -> None:
         block = self._blocks.get(key)
         if block is not None and block.dirty:
             block.dirty = False
             self._dirty_bytes -= self.block_size
+            if self._obs_enabled:
+                self._m_dirty_bytes.set(self._dirty_bytes)
 
     def discard(self, key: BlockKey) -> None:
         """Remove a block outright (e.g. file deleted before write-back)."""
@@ -142,6 +167,8 @@ class BlockCache:
             self._forget_key(key)
             if block.dirty:
                 self._dirty_bytes -= self.block_size
+                if self._obs_enabled:
+                    self._m_dirty_bytes.set(self._dirty_bytes)
 
     def _forget_key(self, key: BlockKey) -> None:
         keys = self._by_inum.get(key.inum)
@@ -207,6 +234,8 @@ class BlockCache:
             del self._blocks[key]
             self._forget_key(key)
             self.stats.evictions += 1
+            if self._obs_enabled:
+                self._m_evictions.inc()
 
     def over_capacity(self) -> bool:
         """True when even after eviction the cache exceeds capacity.

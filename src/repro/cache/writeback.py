@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.cache.block_cache import BlockCache
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.sim.clock import SimClock
 
 
@@ -58,11 +59,19 @@ class WritebackMonitor:
         cache: BlockCache,
         clock: SimClock,
         config: Optional[WritebackConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.cache = cache
         self.clock = clock
         self.config = config or WritebackConfig()
         self.triggers: dict = {}
+        obs = telemetry or NULL_TELEMETRY
+        self._m_triggers = {
+            reason: obs.counter(
+                "cache.writeback_triggers", reason=reason.value
+            )
+            for reason in WritebackReason
+        }
 
     def _dirty_threshold_bytes(self) -> int:
         return int(self.cache.capacity_bytes * self.config.dirty_high_fraction)
@@ -84,6 +93,7 @@ class WritebackMonitor:
 
     def _fire(self, reason: WritebackReason) -> WritebackReason:
         self.triggers[reason] = self.triggers.get(reason, 0) + 1
+        self._m_triggers[reason].inc()
         return reason
 
     def note_explicit(self, reason: WritebackReason) -> None:

@@ -17,6 +17,11 @@ Commands::
     inspect IMAGE                             dump on-disk structures
     fsck IMAGE                                check/repair an FFS image
     fig {1,3,4,5,scaling,recovery}            run a paper experiment
+    stats IMAGE                               mount with telemetry, report
+
+``fig --telemetry out.jsonl`` records the experiment's metrics and
+spans (see :mod:`repro.obs`) and writes them as JSONL for offline
+analysis.
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ def _parse_size(text: str) -> int:
         raise argparse.ArgumentTypeError(f"bad size: {text!r}") from exc
 
 
-def _open_image(path: str):
+def _open_image(path: str, telemetry=None):
     """Load an image and mount whatever file system it holds."""
     device = SectorDevice.load(path)
     clock = SimClock()
@@ -62,6 +67,7 @@ def _open_image(path: str):
         DiskGeometry(name="image", total_bytes=device.total_bytes),
         clock,
         device=device,
+        telemetry=telemetry,
     )
     kind = identify(device)
     if kind == "lfs":
@@ -194,23 +200,31 @@ def cmd_fig(args) -> int:
         sec31_cpu_scaling,
     )
     from repro.lfs.config import LfsConfig
+    from repro.obs import Telemetry, export_jsonl
     from repro.workloads.largefile import PHASES
 
+    telemetry = Telemetry() if args.telemetry else None
     which = args.which
     if which == "1":
-        for kind, trace in fig1_fig2_creation_traces().items():
+        for kind, trace in fig1_fig2_creation_traces(
+            telemetry=telemetry
+        ).items():
             print(f"--- {kind}: {trace.write_requests} writes "
                   f"({trace.sync_writes} sync) ---")
             print(trace.table)
     elif which == "3":
-        results = fig3_small_file(num_files=1000, total_bytes=128 * MIB)
+        results = fig3_small_file(
+            num_files=1000, total_bytes=128 * MIB, telemetry=telemetry
+        )
         table = Table(["system", "create/s", "read/s", "delete/s"])
         for kind, r in results.items():
             table.row(kind, r.create_per_second, r.read_per_second,
                       r.delete_per_second)
         print(table.render())
     elif which == "4":
-        results = fig4_large_file(file_bytes=10 * MIB, total_bytes=128 * MIB)
+        results = fig4_large_file(
+            file_bytes=10 * MIB, total_bytes=128 * MIB, telemetry=telemetry
+        )
         table = Table(["phase", "lfs KB/s", "ffs KB/s"])
         for phase in PHASES:
             table.row(phase, results["lfs"].kb_per_second(phase),
@@ -220,24 +234,48 @@ def cmd_fig(args) -> int:
         seg = LfsConfig().segment_size
         table = Table(["utilization", "KB/s cleaned", "model KB/s"])
         for point, model in fig5_cleaning_rate(
-            (0.0, 0.2, 0.4, 0.6, 0.8), total_bytes=96 * MIB, fill_segments=12
+            (0.0, 0.2, 0.4, 0.6, 0.8),
+            total_bytes=96 * MIB,
+            fill_segments=12,
+            telemetry=telemetry,
         ):
             table.row(point.target_utilization,
                       point.clean_kb_per_second(seg), model)
         print(table.render())
     elif which == "scaling":
         table = Table(["cpu", "lfs ms/op", "ffs ms/op"])
-        for point in sec31_cpu_scaling((1.0, 4.0, 16.0), num_files=100):
+        for point in sec31_cpu_scaling(
+            (1.0, 4.0, 16.0), num_files=100, telemetry=telemetry
+        ):
             table.row(f"{point.speed_factor:.0f}x",
                       point.lfs_ms_per_create_delete,
                       point.ffs_ms_per_create_delete)
         print(table.render())
     elif which == "recovery":
         table = Table(["files", "lfs recovery s", "ffs fsck s"])
-        for point in recovery_comparison((100, 400), total_bytes=96 * MIB):
+        for point in recovery_comparison(
+            (100, 400), total_bytes=96 * MIB, telemetry=telemetry
+        ):
             table.row(point.num_files, point.lfs_recovery_seconds,
                       point.ffs_fsck_seconds)
         print(table.render())
+    if telemetry is not None:
+        lines = export_jsonl(telemetry, args.telemetry)
+        print(f"telemetry: {lines} records -> {args.telemetry}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.obs import Telemetry, export_jsonl, render_report
+
+    telemetry = Telemetry()
+    fs, _device = _open_image(args.image, telemetry=telemetry)
+    print(render_report(telemetry, title=f"mount {args.image}"))
+    print("-- disk --")
+    print(f"  {fs.disk.stats.summary()}")
+    if args.telemetry:
+        lines = export_jsonl(telemetry, args.telemetry)
+        print(f"telemetry: {lines} records -> {args.telemetry}")
     return 0
 
 
@@ -295,7 +333,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "which", choices=("1", "3", "4", "5", "scaling", "recovery")
     )
+    p.add_argument(
+        "--telemetry",
+        metavar="OUT.JSONL",
+        help="record metrics and spans; write them as JSONL here",
+    )
     p.set_defaults(func=cmd_fig)
+
+    p = sub.add_parser(
+        "stats", help="mount an image with telemetry on and report"
+    )
+    p.add_argument("image")
+    p.add_argument(
+        "--telemetry",
+        metavar="OUT.JSONL",
+        help="also write the raw metrics/spans as JSONL here",
+    )
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

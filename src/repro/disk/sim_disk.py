@@ -25,6 +25,7 @@ from repro.disk.geometry import DiskGeometry
 from repro.disk.stats import DiskStats
 from repro.disk.trace import AccessTier, TraceEvent, TraceRecorder
 from repro.errors import OutOfRangeError
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.sim.clock import SimClock
 
 
@@ -37,6 +38,7 @@ class SimDisk:
         clock: SimClock,
         device: Optional[SectorDevice] = None,
         trace: Optional[TraceRecorder] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.geometry = geometry
         self.clock = clock
@@ -57,6 +59,25 @@ class SimDisk:
         self.stats = DiskStats()
         self._head_pos = 0
         self._busy_until = 0.0
+        # DiskStats stays the cheap always-on API; the registry mirrors it
+        # so exported telemetry covers the disk layer too.  Instruments are
+        # resolved once here; the hot paths below pay one boolean when
+        # telemetry is disabled.
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.telemetry.bind_clock(clock)
+        self._obs_enabled = self.telemetry.enabled
+        obs = self.telemetry
+        self._m_reads = obs.counter("disk.reads")
+        self._m_writes = obs.counter("disk.writes")
+        self._m_bytes_read = obs.counter("disk.bytes_read")
+        self._m_bytes_written = obs.counter("disk.bytes_written")
+        self._m_sync = obs.counter("disk.sync_requests")
+        self._m_busy = obs.gauge("disk.busy_seconds")
+        self._m_request_bytes = obs.histogram("disk.request_bytes")
+        self._m_tier = {
+            tier.value: obs.counter("disk.requests", tier=tier.value)
+            for tier in AccessTier
+        }
 
     # ------------------------------------------------------------------
     # Timing model
@@ -102,6 +123,13 @@ class SimDisk:
         start, done, tier = self._schedule(sector, count * self.geometry.sector_size)
         data = self.device.read(sector, count)
         self.stats.record(False, len(data), True, tier.value, done - start)
+        if self._obs_enabled:
+            self._m_reads.inc()
+            self._m_bytes_read.inc(len(data))
+            self._m_sync.inc()
+            self._m_busy.add(done - start)
+            self._m_request_bytes.observe(len(data))
+            self._m_tier[tier.value].inc()
         if self.trace is not None:
             self.trace.record(
                 TraceEvent(
@@ -138,6 +166,14 @@ class SimDisk:
         # crash — tell the device not to allocate one.
         self.device.write(sector, data, completion_time=done, durable=sync)
         self.stats.record(True, len(data), sync, tier.value, done - start)
+        if self._obs_enabled:
+            self._m_writes.inc()
+            self._m_bytes_written.inc(len(data))
+            if sync:
+                self._m_sync.inc()
+            self._m_busy.add(done - start)
+            self._m_request_bytes.observe(len(data))
+            self._m_tier[tier.value].inc()
         if self.trace is not None:
             self.trace.record(
                 TraceEvent(

@@ -8,8 +8,9 @@ were synchronous (blocked the caller), and total disk busy time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict
 
+from repro.obs.export import format_fields
 from repro.units import fmt_bytes, fmt_time
 
 
@@ -63,7 +64,10 @@ class DiskStats:
             sync_requests=self.sync_requests - earlier.sync_requests,
             busy_seconds=self.busy_seconds - earlier.busy_seconds,
         )
-        tiers = set(self.tier_counts) | set(earlier.tier_counts)
+        # Sorted union so delta dicts iterate in a stable order no matter
+        # which tiers each side saw first (set iteration order is
+        # hash-seed dependent, which made exported deltas flap).
+        tiers = sorted(set(self.tier_counts) | set(earlier.tier_counts))
         delta.tier_counts = {
             tier: self.tier_counts.get(tier, 0) - earlier.tier_counts.get(tier, 0)
             for tier in tiers
@@ -81,10 +85,34 @@ class DiskStats:
             tier_counts=dict(self.tier_counts),
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Export form: plain scalars plus tier counts in sorted order."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "requests": self.requests,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "sync_requests": self.sync_requests,
+            "seeks": self.seeks,
+            "busy_seconds": self.busy_seconds,
+            "tier_counts": {
+                tier: self.tier_counts[tier]
+                for tier in sorted(self.tier_counts)
+            },
+        }
+
     def summary(self) -> str:
-        return (
-            f"{self.requests} requests ({self.reads} reads "
-            f"{fmt_bytes(self.bytes_read)}, {self.writes} writes "
-            f"{fmt_bytes(self.bytes_written)}), {self.sync_requests} sync, "
-            f"{self.seeks} seeks, busy {fmt_time(self.busy_seconds)}"
+        return format_fields(
+            [
+                (
+                    "",
+                    f"{self.requests} requests ({self.reads} reads "
+                    f"{fmt_bytes(self.bytes_read)}, {self.writes} writes "
+                    f"{fmt_bytes(self.bytes_written)})",
+                ),
+                ("", f"{self.sync_requests} sync"),
+                ("", f"{self.seeks} seeks"),
+                ("busy", fmt_time(self.busy_seconds)),
+            ]
         )

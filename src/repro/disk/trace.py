@@ -57,17 +57,30 @@ class TraceEvent:
 
 @dataclass
 class TraceRecorder:
-    """Accumulates :class:`TraceEvent` records from a :class:`SimDisk`."""
+    """Accumulates :class:`TraceEvent` records from a :class:`SimDisk`.
+
+    ``max_events`` bounds memory on long workloads: once the cap is
+    reached, further events are counted in ``dropped_events`` instead of
+    stored (the figures only ever need the first few thousand requests;
+    a cleaning-heavy run can issue millions).  ``None`` means unbounded.
+    """
 
     events: List[TraceEvent] = field(default_factory=list)
     enabled: bool = True
+    max_events: Optional[int] = None
+    dropped_events: int = 0
 
     def record(self, event: TraceEvent) -> None:
-        if self.enabled:
-            self.events.append(event)
+        if not self.enabled:
+            return
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(event)
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped_events = 0
 
     def writes(self) -> List[TraceEvent]:
         return [e for e in self.events if e.is_write]

@@ -21,6 +21,7 @@ from repro.ffs.filesystem import FastFileSystem
 from repro.ffs.fsck import fsck
 from repro.lfs.config import LfsConfig
 from repro.lfs.filesystem import LogStructuredFS
+from repro.obs import Telemetry
 from repro.sim.clock import SimClock
 from repro.sim.cpu import CpuModel
 from repro.units import KIB, MIB
@@ -50,15 +51,21 @@ def new_rig(
     ffs_config: Optional[FfsConfig] = None,
     with_trace: bool = False,
     geometry: Optional[DiskGeometry] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Rig:
-    """Build a simulated machine and format it with ``kind`` ('lfs'/'ffs')."""
+    """Build a simulated machine and format it with ``kind`` ('lfs'/'ffs').
+
+    One ``telemetry`` object may be shared across sequential rigs (its
+    tracer re-binds to each rig's clock); metrics then accumulate over
+    the whole experiment.
+    """
     geometry = geometry or wren_iv(total_bytes)
     clock = SimClock()
     cpu = CpuModel(clock, speed_factor=speed_factor)
     trace = TraceRecorder(enabled=False) if with_trace else None
-    disk = SimDisk(geometry, clock, trace=trace)
+    disk = SimDisk(geometry, clock, trace=trace, telemetry=telemetry)
     if kind == "lfs":
-        fs = LogStructuredFS.mkfs(disk, cpu, lfs_config)
+        fs = LogStructuredFS.mkfs(disk, cpu, lfs_config, telemetry=telemetry)
     elif kind == "ffs":
         fs = FastFileSystem.mkfs(disk, cpu, ffs_config)
     else:
@@ -86,6 +93,7 @@ class CreationTrace:
 
 def fig1_fig2_creation_traces(
     total_bytes: int = 64 * MIB,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, CreationTrace]:
     """Reproduce Figures 1 and 2.
 
@@ -100,7 +108,9 @@ def fig1_fig2_creation_traces(
     """
     results: Dict[str, CreationTrace] = {}
     for kind in ("ffs", "lfs"):
-        rig = new_rig(kind, total_bytes=total_bytes, with_trace=True)
+        rig = new_rig(
+            kind, total_bytes=total_bytes, with_trace=True, telemetry=telemetry
+        )
         fs = rig.fs
         fs.mkdir("/dir1")
         fs.mkdir("/dir2")
@@ -139,11 +149,12 @@ def fig3_small_file(
     num_files: int = 10000,
     file_size: int = 1 * KIB,
     total_bytes: int = 300 * MIB,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, SmallFileResult]:
     """One Figure 3 group (e.g. 10000 x 1 KB) for both file systems."""
     results: Dict[str, SmallFileResult] = {}
     for kind in ("lfs", "ffs"):
-        rig = new_rig(kind, total_bytes=total_bytes)
+        rig = new_rig(kind, total_bytes=total_bytes, telemetry=telemetry)
         results[kind] = run_small_file_test(
             rig.fs, num_files=num_files, file_size=file_size
         )
@@ -159,11 +170,12 @@ def fig4_large_file(
     file_bytes: int = 100 * MIB,
     request_bytes: int = 8 * KIB,
     total_bytes: int = 300 * MIB,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, LargeFileResult]:
     """Figure 4's five-stage 100 MB test for both file systems."""
     results: Dict[str, LargeFileResult] = {}
     for kind in ("lfs", "ffs"):
-        rig = new_rig(kind, total_bytes=total_bytes)
+        rig = new_rig(kind, total_bytes=total_bytes, telemetry=telemetry)
         results[kind] = run_large_file_test(
             rig.fs, file_bytes=file_bytes, request_bytes=request_bytes
         )
@@ -180,13 +192,19 @@ def fig5_cleaning_rate(
     total_bytes: int = 128 * MIB,
     fill_segments: int = 24,
     lfs_config: Optional[LfsConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[Tuple[CleaningPoint, float]]:
     """Figure 5: measured cleaning rate per utilization, with the
     analytic model value alongside each point."""
     config = lfs_config or LfsConfig()
     results: List[Tuple[CleaningPoint, float]] = []
     for u in utilizations:
-        rig = new_rig("lfs", total_bytes=total_bytes, lfs_config=config)
+        rig = new_rig(
+            "lfs",
+            total_bytes=total_bytes,
+            lfs_config=config,
+            telemetry=telemetry,
+        )
         point = run_cleaning_rate_test(
             rig.fs, u, fill_segments=fill_segments
         )
@@ -213,6 +231,7 @@ def sec31_cpu_scaling(
     speed_factors: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0),
     num_files: int = 200,
     total_bytes: int = 64 * MIB,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[CpuScalingPoint]:
     """Create+delete an empty file at increasing CPU speeds.
 
@@ -224,7 +243,12 @@ def sec31_cpu_scaling(
     for factor in speed_factors:
         latencies: Dict[str, float] = {}
         for kind in ("lfs", "ffs"):
-            rig = new_rig(kind, total_bytes=total_bytes, speed_factor=factor)
+            rig = new_rig(
+                kind,
+                total_bytes=total_bytes,
+                speed_factor=factor,
+                telemetry=telemetry,
+            )
             fs = rig.fs
             start = rig.clock.now()
             for index in range(num_files):
@@ -263,6 +287,7 @@ def recovery_comparison(
     total_bytes: int = 128 * MIB,
     files_after_checkpoint: int = 50,
     disk_sizes: Optional[Sequence[int]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[RecoveryPoint]:
     """§4.4's claim, measured.
 
@@ -280,7 +305,7 @@ def recovery_comparison(
     points: List[RecoveryPoint] = []
     for count, total_bytes in zip(file_counts, disk_sizes):
         # --- LFS ---
-        rig = new_rig("lfs", total_bytes=total_bytes)
+        rig = new_rig("lfs", total_bytes=total_bytes, telemetry=telemetry)
         fs = rig.fs
         payload = b"r" * file_size
         for index in range(count):

@@ -23,6 +23,7 @@ from repro.disk.sim_disk import SimDisk
 from repro.errors import CheckpointError, CorruptionError
 from repro.lfs.config import CHECKPOINT_MAGIC, CHECKPOINT_REGION_BLOCKS, LfsLayout
 from repro.lfs.segments import LogPosition
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.sim.clock import SimClock
 
 
@@ -95,7 +96,11 @@ class CheckpointManager:
     """Alternating writes to the two fixed checkpoint regions."""
 
     def __init__(
-        self, layout: LfsLayout, disk: SimDisk, clock: SimClock
+        self,
+        layout: LfsLayout,
+        disk: SimDisk,
+        clock: SimClock,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.layout = layout
         self.disk = disk
@@ -103,6 +108,8 @@ class CheckpointManager:
         self._next_region = 0
         self.checkpoints_written = 0
         self.last_checkpoint_time: Optional[float] = None
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._m_written = self.telemetry.counter("checkpoint.writes")
 
     @property
     def region_bytes(self) -> int:
@@ -115,14 +122,18 @@ class CheckpointManager:
     def write(self, data: CheckpointData) -> None:
         """Synchronously write a checkpoint to the next region."""
         packed = data.pack(self.region_bytes)
-        self.disk.write(
-            self._region_sector(self._next_region),
-            packed,
-            sync=True,
-            label=f"checkpoint region {self._next_region}",
-        )
+        with self.telemetry.span(
+            "checkpoint.write", region=self._next_region, bytes=len(packed)
+        ):
+            self.disk.write(
+                self._region_sector(self._next_region),
+                packed,
+                sync=True,
+                label=f"checkpoint region {self._next_region}",
+            )
         self._next_region = 1 - self._next_region
         self.checkpoints_written += 1
+        self._m_written.inc()
         self.last_checkpoint_time = data.timestamp
 
     def load_latest(self) -> Tuple[CheckpointData, int]:

@@ -31,12 +31,13 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.common.inode import BlockKey, BlockKind, Inode, INODE_SIZE
 from repro.errors import CorruptionError
 from repro.lfs.segment_usage import SegmentState
 from repro.lfs.summary import SegmentSummary, SummaryEntry
+from repro.obs import NULL_TELEMETRY, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.lfs.filesystem import LogStructuredFS
@@ -69,12 +70,21 @@ class SegmentCleaner:
         fs: "LogStructuredFS",
         policy: CleanerPolicy = CleanerPolicy.GREEDY,
         victims_per_pass: int = 4,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.fs = fs
         self.policy = policy
         self.victims_per_pass = victims_per_pass
         self.stats = CleanerStats()
         self._rng = random.Random(0x5EC5)
+        self.telemetry = telemetry or NULL_TELEMETRY
+        obs = self.telemetry
+        self._m_passes = obs.counter("cleaner.passes")
+        self._m_segments = obs.counter("cleaner.segments_cleaned")
+        self._m_bytes_read = obs.counter("cleaner.bytes_read")
+        self._m_live_copied = obs.counter("cleaner.live_bytes_copied")
+        self._m_live_blocks = obs.counter("cleaner.live_blocks_copied")
+        self._m_dead_blocks = obs.counter("cleaner.dead_blocks_dropped")
 
     # ------------------------------------------------------------------
     # Victim selection (§4.3.4)
@@ -132,6 +142,13 @@ class SegmentCleaner:
             if target_clean is None
             else target_clean
         )
+        with self.telemetry.span("cleaner.clean", target=target) as span:
+            cleaned = self._run_clean(target)
+            span.set_attr("cleaned", cleaned)
+        self._m_segments.inc(cleaned)
+        return cleaned
+
+    def _run_clean(self, target: int) -> int:
         cleaned = 0
         usage = self.fs.usage
         start = self.fs.clock.now()
@@ -163,6 +180,7 @@ class SegmentCleaner:
             if not victims:
                 break
             self.stats.passes += 1
+            self._m_passes.inc()
             occupied = []
             for seg in victims:
                 # §5.3: "Segments with no live blocks have no cost."  The
@@ -213,35 +231,47 @@ class SegmentCleaner:
         if fs.usage.info(seg).state is not SegmentState.DIRTY:
             raise CorruptionError(f"cleaning non-dirty segment {seg}")
         first_block = layout.segment_first_block(seg)
-        raw = fs.disk.read(
-            first_block * fs.config.sectors_per_block,
-            bps * fs.config.sectors_per_block,
-            label=f"cleaner segment {seg}",
-        )
-        self.stats.bytes_read += len(raw)
-        offset = 0
-        while offset < bps:
-            try:
-                nsummary = SegmentSummary.peek_summary_blocks(
-                    raw[offset * bs : (offset + 1) * bs], bs
-                )
-                summary = SegmentSummary.unpack(raw[offset * bs :], bs)
-            except CorruptionError:
-                break  # end of the written log within this segment
-            fs.cpu.cleaner_blocks(len(summary.entries))
-            for position, entry in enumerate(summary.entries):
-                addr = first_block + offset + nsummary + position
-                payload = raw[
-                    (offset + nsummary + position)
-                    * bs : (offset + nsummary + position + 1)
-                    * bs
-                ]
-                if self._relocate_entry(entry, addr, payload):
-                    self.stats.live_blocks_copied += 1
-                    self.stats.live_bytes_copied += bs
-                else:
-                    self.stats.dead_blocks_dropped += 1
-            offset += nsummary + summary.nblocks
+        with self.telemetry.span(
+            "cleaner.relocate_segment", segment=seg
+        ) as span:
+            raw = fs.disk.read(
+                first_block * fs.config.sectors_per_block,
+                bps * fs.config.sectors_per_block,
+                label=f"cleaner segment {seg}",
+            )
+            self.stats.bytes_read += len(raw)
+            self._m_bytes_read.inc(len(raw))
+            live = dead = 0
+            offset = 0
+            while offset < bps:
+                try:
+                    nsummary = SegmentSummary.peek_summary_blocks(
+                        raw[offset * bs : (offset + 1) * bs], bs
+                    )
+                    summary = SegmentSummary.unpack(raw[offset * bs :], bs)
+                except CorruptionError:
+                    break  # end of the written log within this segment
+                fs.cpu.cleaner_blocks(len(summary.entries))
+                for position, entry in enumerate(summary.entries):
+                    addr = first_block + offset + nsummary + position
+                    payload = raw[
+                        (offset + nsummary + position)
+                        * bs : (offset + nsummary + position + 1)
+                        * bs
+                    ]
+                    if self._relocate_entry(entry, addr, payload):
+                        live += 1
+                    else:
+                        dead += 1
+                offset += nsummary + summary.nblocks
+            self.stats.live_blocks_copied += live
+            self.stats.live_bytes_copied += live * bs
+            self.stats.dead_blocks_dropped += dead
+            self._m_live_blocks.inc(live)
+            self._m_live_copied.inc(live * bs)
+            self._m_dead_blocks.inc(dead)
+            span.set_attr("live_blocks", live)
+            span.set_attr("dead_blocks", dead)
 
     def _relocate_entry(
         self, entry: SummaryEntry, addr: int, payload: bytes

@@ -40,6 +40,7 @@ from repro.lfs.recovery import RollForwardReport, roll_forward
 from repro.lfs.segments import LogPosition, PlannedBlock, SegmentManager
 from repro.lfs.segment_usage import SegmentState, SegmentUsage
 from repro.lfs.summary import SummaryEntry
+from repro.obs import Telemetry
 from repro.sim.cpu import CpuModel
 from repro.vfs.base import BaseFileSystem, ROOT_INUM
 
@@ -98,10 +99,18 @@ class SuperBlock:
 class LogStructuredFS(BaseFileSystem):
     """The paper's LFS storage manager."""
 
-    def __init__(self, disk: SimDisk, cpu: CpuModel, config: LfsConfig) -> None:
+    def __init__(
+        self,
+        disk: SimDisk,
+        cpu: CpuModel,
+        config: LfsConfig,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self._config = config
         self.layout = LfsLayout.for_device(config, disk.device.total_bytes)
-        super().__init__(disk, cpu, config.cache_bytes, config.writeback)
+        super().__init__(
+            disk, cpu, config.cache_bytes, config.writeback, telemetry=telemetry
+        )
         self.imap = InodeMap(config.max_inodes, config.block_size)
         self.usage = SegmentUsage(
             self.layout.num_segments, config.segment_size, config.block_size
@@ -127,9 +136,13 @@ class LogStructuredFS(BaseFileSystem):
             self.clock,
             reserve,
         )
-        self.checkpoints = CheckpointManager(self.layout, disk, self.clock)
+        self.checkpoints = CheckpointManager(
+            self.layout, disk, self.clock, telemetry=self.telemetry
+        )
         self.cleaner = SegmentCleaner(
-            self, policy=CleanerPolicy(config.cleaner_policy)
+            self,
+            policy=CleanerPolicy(config.cleaner_policy),
+            telemetry=self.telemetry,
         )
         self.last_recovery: Optional[RollForwardReport] = None
         self._flushing = False
@@ -140,11 +153,15 @@ class LogStructuredFS(BaseFileSystem):
 
     @classmethod
     def mkfs(
-        cls, disk: SimDisk, cpu: CpuModel, config: Optional[LfsConfig] = None
+        cls,
+        disk: SimDisk,
+        cpu: CpuModel,
+        config: Optional[LfsConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> "LogStructuredFS":
         """Format the device and return a mounted, empty file system."""
         config = config or LfsConfig()
-        fs = cls(disk, cpu, config)
+        fs = cls(disk, cpu, config, telemetry=telemetry)
         superblock = SuperBlock(
             block_size=config.block_size,
             segment_size=config.segment_size,
@@ -172,6 +189,7 @@ class LogStructuredFS(BaseFileSystem):
         disk: SimDisk,
         cpu: CpuModel,
         config: Optional[LfsConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> "LogStructuredFS":
         """Attach an existing LFS, recovering from a crash if necessary.
 
@@ -196,7 +214,7 @@ class LogStructuredFS(BaseFileSystem):
             roll_forward=base.roll_forward,
             writeback=base.writeback,
         )
-        fs = cls(disk, cpu, merged)
+        fs = cls(disk, cpu, merged, telemetry=telemetry)
         checkpoint, _region = fs.checkpoints.load_latest()
         # Inode-map blocks load on demand (§4.2.1); only the small
         # segment-usage array is read eagerly, with coalesced requests.
@@ -717,6 +735,7 @@ def make_lfs(
     speed_factor: float = 1.0,
     geometry=None,
     trace=None,
+    telemetry: Optional[Telemetry] = None,
 ) -> LogStructuredFS:
     """Convenience constructor: simulated WREN IV disk + fresh LFS.
 
@@ -730,5 +749,5 @@ def make_lfs(
         geometry = wren_iv(total_bytes) if total_bytes else wren_iv()
     clock = SimClock()
     cpu = CpuModel(clock, speed_factor=speed_factor)
-    disk = SimDisk(geometry, clock, trace=trace)
-    return LogStructuredFS.mkfs(disk, cpu, config)
+    disk = SimDisk(geometry, clock, trace=trace, telemetry=telemetry)
+    return LogStructuredFS.mkfs(disk, cpu, config, telemetry=telemetry)

@@ -58,6 +58,20 @@ def roll_forward(
     Mutates the file system's inode map, usage array and log position;
     the caller is responsible for writing a fresh checkpoint afterwards.
     """
+    with fs.telemetry.span("recovery.roll_forward") as span:
+        report = _roll_forward(fs, checkpoint)
+        span.set_attr("partials_applied", report.partials_applied)
+        span.set_attr("blocks_recovered", report.blocks_recovered)
+        span.set_attr("stop_reason", report.stop_reason)
+    obs = fs.telemetry
+    obs.counter("recovery.partials_applied").inc(report.partials_applied)
+    obs.counter("recovery.blocks_recovered").inc(report.blocks_recovered)
+    return report
+
+
+def _roll_forward(
+    fs: "LogStructuredFS", checkpoint: CheckpointData
+) -> RollForwardReport:
     report = RollForwardReport()
     start_time = fs.clock.now()
     layout = fs.layout

@@ -1,0 +1,51 @@
+"""``repro.obs`` — the unified observability layer.
+
+One :class:`Telemetry` object per simulated machine carries a
+:class:`MetricsRegistry` (counters, gauges, fixed-bucket histograms)
+and a :class:`SpanTracer` (nested simulated-time spans).  Every layer —
+file systems, cleaner, checkpointing, recovery, cache, disk — publishes
+into it; :mod:`repro.obs.export` turns the result into JSONL, dicts, or
+a human-readable report.  The default :data:`NULL_TELEMETRY` is
+permanently disabled and near-free on the hot paths.
+
+See DESIGN.md's "Observability" section for the metric-name catalog and
+the span taxonomy.
+"""
+
+from repro.obs.export import (
+    export_jsonl,
+    format_fields,
+    iter_records,
+    read_jsonl,
+    render_report,
+)
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.tracer import Span, SpanTracer
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_INSTRUMENT",
+    "DEFAULT_BYTE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "SpanTracer",
+    "Span",
+    "export_jsonl",
+    "read_jsonl",
+    "iter_records",
+    "render_report",
+    "format_fields",
+]

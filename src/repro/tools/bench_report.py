@@ -14,9 +14,15 @@ The schema is deliberately small and stable:
   serialization) implementations patched back in, when the harness was
   run with the comparison enabled;
 * ``workloads.<name>.speedup`` — before/after wall-clock ratio;
+* ``workloads.<name>.telemetry_on`` — the same workload with a live
+  :class:`repro.obs.Telemetry` recording, and
+  ``workloads.<name>.telemetry_overhead`` the on/off wall-clock ratio
+  minus one (0.05 = telemetry costs 5%);
 * ``probes`` — operation-count evidence that the O(1) invariants hold
   (see :mod:`repro.lfs.segment_usage` and :mod:`repro.disk.device`);
-* ``checks`` — pass/fail booleans the harness asserted.
+* ``checks`` — pass/fail booleans the harness asserted;
+* ``baseline`` — the committed report the telemetry-disabled leg was
+  held to, with either the regression list or a skip note.
 """
 
 from __future__ import annotations
@@ -139,6 +145,22 @@ def summarize(report: Dict[str, Any]) -> str:
                 else f"{'-':>9} {'-':>8}"
             )
         )
+        telemetry_on = entry.get("telemetry_on")
+        if telemetry_on:
+            lines.append(
+                f"  telemetry on: {telemetry_on['wall_seconds']:.3f}s "
+                f"({entry.get('telemetry_overhead', 0.0):+.1%})"
+            )
     for name, ok in report["checks"].items():
         lines.append(f"  check {name}: {'ok' if ok else 'FAILED'}")
+    baseline = report.get("baseline")
+    if baseline:
+        if "skipped" in baseline:
+            lines.append(f"  baseline: skipped ({baseline['skipped']})")
+        else:
+            count = len(baseline.get("regressions", []))
+            lines.append(
+                f"  baseline: {count} regression(s) vs {baseline['path']} "
+                f"(tolerance {baseline['tolerance']:.0%})"
+            )
     return "\n".join(lines)

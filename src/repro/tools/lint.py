@@ -1,5 +1,6 @@
-"""A dependency-free linter for the two classes of dead code this repo
-cares about: unused imports and write-only local variables.
+"""A dependency-free linter for the classes of defect this repo cares
+about: unused imports, write-only local variables, and instrumented
+modules that bypass the telemetry registry with bare ``print``.
 
 The container this project builds in has no third-party linter, so this
 module is the fallback for ``make lint`` — when ``ruff`` is installed
@@ -146,6 +147,50 @@ def _check_unused_locals(
             )
 
 
+_OBS_INSTRUMENTED_DIRS = ("repro/lfs/", "repro/cache/")
+"""Directories whose modules, once they import ``repro.obs``, must
+publish through the registry — a stray ``print`` there is almost always
+debug output that should have been a metric or a span attribute."""
+
+
+def _imports_obs(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(
+                alias.name == "repro.obs" or alias.name.startswith("repro.obs.")
+                for alias in node.names
+            ):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "repro.obs" or module.startswith("repro.obs."):
+                return True
+    return False
+
+
+def _check_obs_print_bypass(
+    path: str, tree: ast.Module, noqa: Set[int]
+) -> Iterator[Tuple[str, int, str]]:
+    normalized = path.replace(os.sep, "/")
+    if not any(marker in normalized for marker in _OBS_INSTRUMENTED_DIRS):
+        return
+    if not _imports_obs(tree):
+        return
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+            and node.lineno not in noqa
+        ):
+            yield (
+                path,
+                node.lineno,
+                "OBS001 bare `print` in a telemetry-instrumented module; "
+                "publish through the registry or tracer instead",
+            )
+
+
 def lint_file(path: str) -> List[Tuple[str, int, str]]:
     with open(path, encoding="utf-8") as handle:
         source = handle.read()
@@ -156,6 +201,7 @@ def lint_file(path: str) -> List[Tuple[str, int, str]]:
     noqa = _noqa_lines(source)
     findings = list(_check_unused_imports(path, tree, noqa))
     findings.extend(_check_unused_locals(path, tree, noqa))
+    findings.extend(_check_obs_print_bypass(path, tree, noqa))
     return findings
 
 

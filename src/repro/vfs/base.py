@@ -43,6 +43,7 @@ from repro.errors import (
     NotADirectoryError_,
     StaleHandleError,
 )
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.sim.cpu import CpuModel
 from repro.units import KIB
 from repro.vfs.interface import FileHandle, FsStats, StatResult, StorageManager
@@ -64,13 +65,30 @@ class BaseFileSystem(StorageManager):
         cpu: CpuModel,
         cache_bytes: int,
         writeback_config: Optional[WritebackConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.disk = disk
         self.clock = cpu.clock
         self.cpu = cpu
-        self.cache = BlockCache(cache_bytes, self.block_size)
+        # Adopt the disk's telemetry when none is given so one object
+        # covers the whole simulated machine by default.
+        self.telemetry = (
+            telemetry
+            or getattr(disk, "telemetry", None)
+            or NULL_TELEMETRY
+        )
+        self.telemetry.bind_clock(self.clock)
+        self._obs_enabled = self.telemetry.enabled
+        self._m_fs_bytes_written = self.telemetry.counter("fs.bytes_written")
+        self._m_fs_bytes_read = self.telemetry.counter("fs.bytes_read")
+        self.cache = BlockCache(
+            cache_bytes, self.block_size, telemetry=self.telemetry
+        )
         self.monitor = WritebackMonitor(
-            self.cache, self.clock, writeback_config or WritebackConfig()
+            self.cache,
+            self.clock,
+            writeback_config or WritebackConfig(),
+            telemetry=self.telemetry,
         )
         self._stats = FsStats()
         self._inodes: Dict[int, Inode] = {}
@@ -732,9 +750,19 @@ class BaseFileSystem(StorageManager):
         self._update_atime(inode)
         self._stats.read_calls += 1
         self._stats.bytes_read += len(data)
+        if self._obs_enabled:
+            self._m_fs_bytes_read.inc(len(data))
         return data
 
     def pwrite(self, handle: FileHandle, offset: int, data: bytes) -> int:
+        if self._obs_enabled:
+            with self.telemetry.span("fs.write", bytes=len(data)):
+                written = self._pwrite(handle, offset, data)
+            self._m_fs_bytes_written.inc(written)
+            return written
+        return self._pwrite(handle, offset, data)
+
+    def _pwrite(self, handle: FileHandle, offset: int, data: bytes) -> int:
         inode = self._handle_inode(handle)
         self.cpu.syscall()
         nblocks = max(1, (len(data) + self.block_size - 1) // self.block_size)
@@ -767,7 +795,8 @@ class BaseFileSystem(StorageManager):
             self._stats.note_writeback(reason.value)
             self._in_writeback = True
             try:
-                self._writeback(reason)
+                with self.telemetry.span("cache.flush", reason=reason.value):
+                    self._writeback(reason)
             finally:
                 self._in_writeback = False
 
@@ -779,7 +808,10 @@ class BaseFileSystem(StorageManager):
         self._stats.syncs += 1
         self._in_writeback = True
         try:
-            self._writeback(WritebackReason.SYNC)
+            with self.telemetry.span(
+                "cache.flush", reason=WritebackReason.SYNC.value
+            ):
+                self._writeback(WritebackReason.SYNC)
         finally:
             self._in_writeback = False
         self.disk.drain()

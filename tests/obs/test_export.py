@@ -1,0 +1,103 @@
+"""Exporter round-trips: JSONL, dicts, and the rendered report."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import (
+    NULL_TELEMETRY,
+    Telemetry,
+    export_jsonl,
+    format_fields,
+    iter_records,
+    read_jsonl,
+    render_report,
+)
+from repro.obs.export import EXPORT_SCHEMA
+from repro.sim.clock import SimClock
+
+
+def populated_telemetry() -> Telemetry:
+    clock = SimClock()
+    telemetry = Telemetry(clock=clock)
+    telemetry.counter("disk.reads").inc(3)
+    telemetry.gauge("cache.dirty_bytes").set(8192)
+    telemetry.histogram("disk.request_bytes").observe(4096)
+    with telemetry.span("fs.write", bytes=4096):
+        clock.advance(0.5)
+    with telemetry.span("cleaner.clean"):
+        clock.advance(1.5)
+    return telemetry
+
+
+class TestRecordStream:
+    def test_metrics_then_spans_then_summary(self):
+        records = list(iter_records(populated_telemetry()))
+        types = [record["type"] for record in records]
+        assert types == ["metric"] * 3 + ["span"] * 2 + ["summary"]
+
+    def test_summary_record_contents(self):
+        summary = list(iter_records(populated_telemetry()))[-1]
+        assert summary["schema"] == EXPORT_SCHEMA
+        assert summary["metric_names"] == [
+            "cache.dirty_bytes",
+            "disk.reads",
+            "disk.request_bytes",
+        ]
+        assert summary["span_kinds"] == ["cleaner.clean", "fs.write"]
+        assert summary["span_kind_counts"] == {
+            "cleaner.clean": 1,
+            "fs.write": 1,
+        }
+        assert summary["dropped_spans"] == 0
+        assert summary["dropped_label_sets"] == 0
+
+
+class TestJsonlRoundTrip:
+    def test_path_round_trip(self, tmp_path):
+        telemetry = populated_telemetry()
+        out = str(tmp_path / "telemetry.jsonl")
+        lines = export_jsonl(telemetry, out)
+        records = read_jsonl(out)
+        assert len(records) == lines == 6
+        assert records == list(iter_records(telemetry))
+
+    def test_file_object_round_trip(self):
+        telemetry = populated_telemetry()
+        buffer = io.StringIO()
+        lines = export_jsonl(telemetry, buffer)
+        assert buffer.getvalue().count("\n") == lines
+
+    def test_span_record_preserves_timing_and_attrs(self, tmp_path):
+        telemetry = populated_telemetry()
+        out = str(tmp_path / "telemetry.jsonl")
+        export_jsonl(telemetry, out)
+        spans = [r for r in read_jsonl(out) if r["type"] == "span"]
+        write = next(s for s in spans if s["kind"] == "fs.write")
+        assert write["end"] - write["start"] == 0.5
+        assert write["attrs"] == {"bytes": 4096}
+
+
+class TestFormatFields:
+    def test_labelled_and_bare_fields(self):
+        line = format_fields([("reads", 3), ("", "idle"), ("writes", 0)])
+        assert line == "reads 3, idle, writes 0"
+
+
+class TestRenderReport:
+    def test_report_shows_metrics_and_spans(self):
+        report = render_report(populated_telemetry(), title="unit test")
+        assert "== unit test ==" in report
+        assert "disk.reads" in report
+        assert "count=1" in report  # histogram series
+        assert "cleaner.clean" in report
+        assert "total=1.500000s" in report
+
+    def test_disabled_telemetry_reports_nothing(self):
+        report = render_report(NULL_TELEMETRY)
+        assert "telemetry disabled" in report
+
+    def test_empty_enabled_telemetry(self):
+        report = render_report(Telemetry())
+        assert "no metrics recorded" in report
+        assert "no spans recorded" in report

@@ -1,0 +1,192 @@
+"""Cross-layer telemetry integration tests on real LFS workloads.
+
+These pin the relationships the observability layer promises: registry
+series mirror the pre-existing stats objects exactly, spans cover every
+instrumented layer, the JSONL export is internally consistent with
+:class:`~repro.disk.stats.DiskStats` deltas, and telemetry changes no
+simulated outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.geometry import wren_iv
+from repro.disk.sim_disk import SimDisk
+from repro.lfs.filesystem import LogStructuredFS
+from repro.obs import Telemetry, export_jsonl, read_jsonl
+from repro.sim.clock import SimClock
+from repro.sim.cpu import CpuModel
+from repro.units import MIB
+from repro.workloads.smallfile import run_small_file_test
+
+from tests.conftest import small_lfs_config
+
+
+def make_rig(telemetry=None) -> LogStructuredFS:
+    clock = SimClock()
+    cpu = CpuModel(clock)
+    disk = SimDisk(wren_iv(64 * MIB), clock, telemetry=telemetry)
+    return LogStructuredFS.mkfs(
+        disk, cpu, small_lfs_config(), telemetry=telemetry
+    )
+
+
+def fragment_log(fs: LogStructuredFS, segments: int = 12) -> None:
+    """Leave ``segments`` dirty segments, each holding one live block."""
+    block_size = fs.config.block_size
+    blocks_per_segment = fs.config.segment_size // block_size
+    payload = b"u" * block_size
+    keeper = fs.create("/keep")
+    churn = fs.create("/churn")
+    keeper_blocks = churn_blocks = 0
+    for _ in range(segments):
+        keeper.pwrite(keeper_blocks * block_size, payload)
+        keeper_blocks += 1
+        for _ in range(blocks_per_segment - 2):
+            churn.pwrite(churn_blocks * block_size, payload)
+            churn_blocks += 1
+        fs.sync()
+    keeper.close()
+    churn.close()
+    fs.unlink("/churn")
+    fs.sync()
+
+
+class TestSmallFileMetricRelationships:
+    @pytest.fixture(scope="class")
+    def rig(self):
+        telemetry = Telemetry()
+        fs = make_rig(telemetry)
+        run_small_file_test(fs, num_files=40, file_size=1024, verify=True)
+        return telemetry, fs
+
+    def test_disk_series_mirror_disk_stats_exactly(self, rig):
+        telemetry, fs = rig
+        registry = telemetry.registry
+        stats = fs.disk.stats
+        assert registry.value("disk.reads") == stats.reads
+        assert registry.value("disk.writes") == stats.writes
+        assert registry.value("disk.bytes_read") == stats.bytes_read
+        assert registry.value("disk.bytes_written") == stats.bytes_written
+        assert registry.value("disk.sync_requests") == stats.sync_requests
+        assert registry.value("disk.busy_seconds") == pytest.approx(
+            stats.busy_seconds
+        )
+
+    def test_tier_labelled_series_mirror_tier_counts(self, rig):
+        telemetry, fs = rig
+        for tier, count in fs.disk.stats.tier_counts.items():
+            assert telemetry.registry.value("disk.requests", tier=tier) == count
+
+    def test_request_histogram_covers_every_request(self, rig):
+        telemetry, fs = rig
+        histogram = telemetry.registry.get("disk.request_bytes")
+        assert histogram.count == fs.disk.stats.requests
+        assert histogram.total == (
+            fs.disk.stats.bytes_read + fs.disk.stats.bytes_written
+        )
+
+    def test_cache_series_mirror_cache_stats(self, rig):
+        telemetry, fs = rig
+        registry = telemetry.registry
+        assert registry.value("cache.hits") == fs.cache.stats.hits
+        assert registry.value("cache.misses") == fs.cache.stats.misses
+        assert registry.value("cache.insertions") == fs.cache.stats.insertions
+        assert registry.value("cache.evictions") == fs.cache.stats.evictions
+
+    def test_fs_layer_accounts_every_write(self, rig):
+        telemetry, fs = rig
+        # One fs.write span per pwrite; their byte attrs sum to the
+        # fs.bytes_written counter (40 files x 1 KiB).
+        writes = telemetry.tracer.by_kind("fs.write")
+        assert telemetry.tracer.kind_counts["fs.write"] >= 40
+        assert sum(s.attrs["bytes"] for s in writes) == telemetry.registry.value(
+            "fs.bytes_written"
+        )
+        assert telemetry.registry.value("fs.bytes_written") == 40 * 1024
+
+    def test_flush_spans_labelled_by_reason(self, rig):
+        telemetry, _fs = rig
+        flushes = telemetry.tracer.by_kind("cache.flush")
+        assert flushes
+        assert all("reason" in span.attrs for span in flushes)
+
+
+class TestCleaningJsonlCrossCheck:
+    def test_export_covers_all_layers_and_matches_disk_deltas(self, tmp_path):
+        telemetry = Telemetry()
+        fs = make_rig(telemetry)
+        fragment_log(fs)
+        before = fs.disk.stats.copy()
+        cleaned = fs.clean_now(fs.layout.num_segments)
+        fs.disk.drain()
+        assert cleaned > 0
+        delta = fs.disk.stats.delta_since(before)
+
+        out = str(tmp_path / "cleaning.jsonl")
+        export_jsonl(telemetry, out)
+        records = read_jsonl(out)
+        summary = records[-1]
+        assert summary["type"] == "summary"
+        assert len(summary["metric_names"]) >= 6
+        assert len(summary["span_kinds"]) >= 4
+        assert {
+            "fs.write",
+            "cache.flush",
+            "cleaner.clean",
+            "cleaner.relocate_segment",
+            "checkpoint.write",
+        } <= set(summary["span_kinds"])
+
+        metrics = {
+            (r["name"], tuple(sorted(r["labels"].items()))): r
+            for r in records
+            if r["type"] == "metric"
+        }
+        # The cleaner moved bytes through the disk: its own counters
+        # must fit inside the DiskStats delta taken around the clean.
+        cleaner_read = metrics[("cleaner.bytes_read", ())]["value"]
+        assert 0 < cleaner_read <= delta.bytes_read
+        live_copied = metrics[("cleaner.live_bytes_copied", ())]["value"]
+        assert live_copied == fs.cleaner.stats.live_bytes_copied
+        assert 0 < live_copied <= delta.bytes_written
+        # And the disk-layer series equal the cumulative DiskStats.
+        assert metrics[("disk.bytes_read", ())]["value"] == fs.disk.stats.bytes_read
+        assert (
+            metrics[("disk.bytes_written", ())]["value"]
+            == fs.disk.stats.bytes_written
+        )
+
+    def test_relocation_spans_nest_under_clean(self, tmp_path):
+        telemetry = Telemetry()
+        fs = make_rig(telemetry)
+        fragment_log(fs, segments=4)
+        fs.clean_now(fs.layout.num_segments)
+        tracer = telemetry.tracer
+        (clean_span,) = tracer.by_kind("cleaner.clean")
+        relocations = tracer.by_kind("cleaner.relocate_segment")
+        assert relocations
+        for span in relocations:
+            # Relocations run inside the cleaning pass (directly, or under
+            # intermediate spans the pass opened).
+            assert span.start >= clean_span.start
+            assert span.end <= clean_span.end
+        assert clean_span.attrs["cleaned"] == fs.cleaner.stats.segments_cleaned
+        live = sum(span.attrs["live_blocks"] for span in relocations)
+        assert live == fs.cleaner.stats.live_blocks_copied
+
+
+class TestTelemetryChangesNothing:
+    def test_identical_simulated_results_with_and_without(self):
+        def run(telemetry):
+            fs = make_rig(telemetry)
+            run_small_file_test(fs, num_files=20, file_size=1024, verify=False)
+            fs.sync()
+            return fs
+
+        fs_on = run(Telemetry())
+        fs_off = run(None)
+        assert fs_on.clock.now() == fs_off.clock.now()
+        assert fs_on.disk.stats.to_dict() == fs_off.disk.stats.to_dict()
+        assert fs_on.segments.log_bytes_written == fs_off.segments.log_bytes_written

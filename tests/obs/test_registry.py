@@ -1,0 +1,137 @@
+"""Unit tests for the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.obs import MetricsRegistry, NULL_INSTRUMENT
+from repro.obs.registry import OVERFLOW_LABELS
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_monotonic_increments(self, registry):
+        counter = registry.counter("disk.reads")
+        counter.inc()
+        counter.inc(5)
+        assert registry.value("disk.reads") == 6
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("disk.reads")
+        with pytest.raises(InvalidArgumentError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_same_series_resolves_same_instrument(self, registry):
+        first = registry.counter("disk.requests", tier="data")
+        second = registry.counter("disk.requests", tier="data")
+        other = registry.counter("disk.requests", tier="meta")
+        assert first is second
+        assert first is not other
+        first.inc(3)
+        assert registry.value("disk.requests", tier="data") == 3
+        assert registry.value("disk.requests", tier="meta") == 0
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        gauge = registry.gauge("cache.dirty_bytes")
+        gauge.set(4096)
+        gauge.add(-1024)
+        assert registry.value("cache.dirty_bytes") == 3072
+
+
+class TestHistogram:
+    def test_bucket_bounds_are_inclusive(self, registry):
+        histogram = registry.histogram("disk.request_bytes", buckets=(10, 100))
+        for value in (5, 10, 11, 1000):
+            histogram.observe(value)
+        sample = histogram.sample()
+        assert sample["buckets"] == [[10.0, 2], [100.0, 1], ["+inf", 1]]
+        assert sample["sum"] == 1026
+        assert sample["count"] == 4
+
+    def test_empty_buckets_rejected(self, registry):
+        with pytest.raises(InvalidArgumentError):
+            registry.histogram("h", buckets=())
+
+    def test_non_increasing_buckets_rejected(self, registry):
+        with pytest.raises(InvalidArgumentError):
+            registry.histogram("h", buckets=(10, 10, 20))
+
+
+class TestRegistrySemantics:
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("fs.bytes_written")
+        with pytest.raises(InvalidArgumentError):
+            registry.gauge("fs.bytes_written")
+
+    def test_empty_name_rejected(self, registry):
+        with pytest.raises(InvalidArgumentError):
+            registry.counter("")
+
+    def test_get_and_value_for_absent_series(self, registry):
+        assert registry.get("nope") is None
+        assert registry.value("nope") == 0
+
+    def test_metric_names_and_len(self, registry):
+        registry.counter("b")
+        registry.counter("a", tier="x")
+        registry.counter("a", tier="y")
+        assert registry.metric_names() == ["a", "b"]
+        assert len(registry) == 3
+
+    def test_samples_sorted_with_labels(self, registry):
+        registry.counter("b").inc(2)
+        registry.gauge("a", pool="z").set(7)
+        samples = list(registry.samples())
+        assert [s["name"] for s in samples] == ["a", "b"]
+        assert samples[0] == {
+            "name": "a",
+            "kind": "gauge",
+            "labels": {"pool": "z"},
+            "value": 7,
+        }
+
+
+class TestCardinalityGuard:
+    def test_excess_label_sets_collapse_into_overflow(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        for inum in range(5):
+            registry.counter("fs.writes", inum=inum).inc()
+        # Two real series, everything past the cap shares one overflow.
+        assert registry.value("fs.writes", inum=0) == 1
+        assert registry.value("fs.writes", inum=1) == 1
+        assert registry.get("fs.writes", inum=2) is None
+        overflow = registry.get("fs.writes", **dict(OVERFLOW_LABELS))
+        assert overflow is not None
+        assert overflow.value == 3
+        assert registry.dropped_label_sets == 3
+        assert len(registry) == 3
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            MetricsRegistry(max_label_sets=0)
+
+
+class TestDisabledRegistry:
+    def test_hands_out_shared_null_instrument(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("disk.reads")
+        gauge = registry.gauge("disk.busy_seconds")
+        histogram = registry.histogram("disk.request_bytes")
+        assert counter is NULL_INSTRUMENT
+        assert gauge is NULL_INSTRUMENT
+        assert histogram is NULL_INSTRUMENT
+        counter.inc(10)
+        gauge.set(5)
+        gauge.add(1)
+        histogram.observe(3)
+        assert len(registry) == 0
+        assert registry.metric_names() == []
+        assert list(registry.samples()) == []

@@ -137,6 +137,47 @@ class TestFigCommand:
             run_cli(["fig", "99"])
 
 
+class TestTelemetry:
+    def test_fig5_telemetry_export(self, tmp_path):
+        """The acceptance bar: the cleaning experiment's JSONL stream
+        covers at least 6 metric names and 4 span kinds."""
+        from repro.obs import read_jsonl
+
+        out = str(tmp_path / "fig5.jsonl")
+        code, stdout = run_cli(["fig", "5", "--telemetry", out])
+        assert code == 0
+        assert f"-> {out}" in stdout
+        records = read_jsonl(out)
+        summary = records[-1]
+        assert summary["type"] == "summary"
+        assert len(summary["metric_names"]) >= 6
+        assert len(summary["span_kinds"]) >= 4
+        # Every instrumented layer contributes at least one series.
+        prefixes = {name.split(".")[0] for name in summary["metric_names"]}
+        assert {"disk", "cache", "cleaner", "fs", "checkpoint"} <= prefixes
+
+    def test_stats_command_reports_mount_metrics(self, image, tmp_path):
+        from repro.obs import read_jsonl
+
+        run_cli(["mkfs", image, "--fs", "lfs", "--size", "48M"])
+        run_cli(["write", image, "/f"], stdin=b"observed" * 64)
+        out = str(tmp_path / "stats.jsonl")
+        code, stdout = run_cli(["stats", image, "--telemetry", out])
+        assert code == 0
+        assert f"== mount {image} ==" in stdout
+        assert "disk.reads" in stdout
+        assert "recovery.roll_forward" in stdout
+        assert "-- disk --" in stdout
+        records = read_jsonl(out)
+        assert records[-1]["type"] == "summary"
+        assert "disk.reads" in records[-1]["metric_names"]
+
+    def test_fig_without_flag_writes_no_telemetry(self):
+        code, stdout = run_cli(["fig", "1"])
+        assert code == 0
+        assert "telemetry:" not in stdout
+
+
 class TestErrors:
     def test_missing_file_error(self, image):
         run_cli(["mkfs", image, "--size", "48M"])

@@ -1,0 +1,76 @@
+"""Tests for the dependency-free linter, focused on the OBS001 rule:
+telemetry-instrumented modules must not bypass the registry with bare
+``print``."""
+
+from __future__ import annotations
+
+import os
+
+from repro.tools.lint import lint_file, main
+
+
+def write_module(tmp_path, relpath: str, source: str) -> str:
+    path = tmp_path / relpath
+    os.makedirs(path.parent, exist_ok=True)
+    path.write_text(source)
+    return str(path)
+
+
+INSTRUMENTED = """\
+from repro.obs import Telemetry
+
+def report(telemetry: Telemetry) -> None:
+    print("cleaned 5 segments")
+"""
+
+
+class TestObsPrintBypass:
+    def test_flags_print_in_instrumented_lfs_module(self, tmp_path):
+        path = write_module(tmp_path, "repro/lfs/cleaner_ext.py", INSTRUMENTED)
+        findings = lint_file(path)
+        assert any("OBS001" in message for _, _, message in findings)
+
+    def test_flags_print_in_instrumented_cache_module(self, tmp_path):
+        path = write_module(tmp_path, "repro/cache/extra.py", INSTRUMENTED)
+        findings = lint_file(path)
+        assert any("OBS001" in message for _, _, message in findings)
+
+    def test_ignores_module_that_does_not_import_obs(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro/lfs/plain.py",
+            'def debug():\n    print("not instrumented")\n',
+        )
+        assert not any("OBS001" in m for _, _, m in lint_file(path))
+
+    def test_ignores_print_outside_instrumented_dirs(self, tmp_path):
+        path = write_module(tmp_path, "repro/tools/cli_ext.py", INSTRUMENTED)
+        assert not any("OBS001" in m for _, _, m in lint_file(path))
+
+    def test_submodule_import_counts_as_instrumented(self, tmp_path):
+        source = (
+            "from repro.obs.registry import MetricsRegistry\n"
+            'print("boot")\n'
+        )
+        path = write_module(tmp_path, "repro/lfs/booted.py", source)
+        assert any("OBS001" in m for _, _, m in lint_file(path))
+
+    def test_noqa_suppresses_the_finding(self, tmp_path):
+        source = (
+            "from repro.obs import Telemetry\n"
+            'print("intentional")  # noqa\n'
+        )
+        path = write_module(tmp_path, "repro/lfs/waived.py", source)
+        assert not any("OBS001" in m for _, _, m in lint_file(path))
+
+
+class TestRepoIsClean:
+    def test_src_tests_benchmarks_lint_clean(self, capsys):
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        paths = [
+            os.path.join(repo_root, name)
+            for name in ("src", "tests", "benchmarks")
+        ]
+        assert main(paths) == 0
