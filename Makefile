@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench ci
+.PHONY: test lint bench-smoke bench crashtest ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,4 +29,10 @@ bench-smoke:
 bench:
 	$(PYTHON) benchmarks/perf_harness.py --scale small --strict
 
-ci: lint test bench-smoke
+# Fixed seed, small trial count: CI asserts zero unhandled exceptions
+# (the command exits nonzero if any trial escapes with an untyped
+# error), not any particular corruption mix.
+crashtest:
+	$(PYTHON) -m repro crashtest --trials 10 --seed 0
+
+ci: lint test bench-smoke crashtest

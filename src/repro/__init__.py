@@ -12,7 +12,10 @@ The package provides:
   :mod:`repro.vfs` — the simulated substrate (WREN IV disk service-time
   model, CPU cost model, file cache, UNIX file semantics);
 * :mod:`repro.workloads`, :mod:`repro.harness`, :mod:`repro.analysis` —
-  the paper's benchmarks (Figures 1-5, §3.1) and reporting.
+  the paper's benchmarks (Figures 1-5, §3.1) and reporting;
+* :mod:`repro.faults` — deterministic media-fault injection (torn
+  writes, bit rot, bad sectors, transient I/O errors) and the
+  ``repro crashtest`` crash+corruption campaign.
 
 Quickstart::
 
@@ -29,12 +32,18 @@ from repro.disk.geometry import DiskGeometry, FAST_1990S_DISK, NULL_TIMING, WREN
 from repro.disk.sim_disk import SimDisk
 from repro.disk.trace import TraceRecorder
 from repro.errors import (
+    ChecksumMismatch,
+    CorruptionError,
     FileExistsError_ as FsFileExistsError,
     FileNotFoundError_ as FsFileNotFoundError,
     FileSystemError,
+    MediaError,
     NoSpaceError,
     ReproError,
+    TornWriteError,
+    TransientIOError,
 )
+from repro.faults import FaultConfig, FaultInjector, FaultyDevice, run_campaign
 from repro.ffs.config import FfsConfig
 from repro.ffs.filesystem import FastFileSystem, make_ffs
 from repro.ffs.fsck import fsck
@@ -70,5 +79,14 @@ __all__ = [
     "NoSpaceError",
     "FsFileNotFoundError",
     "FsFileExistsError",
+    "CorruptionError",
+    "ChecksumMismatch",
+    "TornWriteError",
+    "MediaError",
+    "TransientIOError",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultyDevice",
+    "run_campaign",
     "__version__",
 ]

@@ -18,6 +18,7 @@ Commands::
     fsck IMAGE                                check/repair an FFS image
     fig {1,3,4,5,scaling,recovery}            run a paper experiment
     stats IMAGE                               mount with telemetry, report
+    crashtest --trials N --seed S             crash+corruption campaign
 
 ``fig --telemetry out.jsonl`` records the experiment's metrics and
 spans (see :mod:`repro.obs`) and writes them as JSONL for offline
@@ -59,8 +60,17 @@ def _parse_size(text: str) -> int:
 
 
 def _open_image(path: str, telemetry=None):
-    """Load an image and mount whatever file system it holds."""
-    device = SectorDevice.load(path)
+    """Load an image and mount whatever file system it holds.
+
+    Images load onto a :class:`FaultyDevice` with a no-fault injector:
+    behavior is identical to a plain ``SectorDevice``, but the
+    ``disk.fault.*`` counter series registers, so telemetry reports
+    (``repro stats``) always show the fault channel — normally at zero.
+    """
+    from repro.faults import FaultInjector, FaultyDevice
+
+    device = FaultyDevice.load(path)
+    device.injector = FaultInjector(telemetry=telemetry)
     clock = SimClock()
     cpu = CpuModel(clock)
     disk = SimDisk(
@@ -279,6 +289,25 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_crashtest(args) -> int:
+    from repro.faults import run_campaign
+    from repro.obs import Telemetry, export_jsonl
+
+    telemetry = Telemetry() if args.telemetry else None
+    report = run_campaign(
+        trials=args.trials,
+        seed=args.seed,
+        telemetry=telemetry,
+        device_bytes=args.size,
+        log=print if args.verbose else None,
+    )
+    print(report.render())
+    if telemetry is not None:
+        lines = export_jsonl(telemetry, args.telemetry)
+        print(f"telemetry: {lines} records -> {args.telemetry}")
+    return 0 if report.survived_all else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -350,6 +379,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the raw metrics/spans as JSONL here",
     )
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "crashtest",
+        help="run a seeded crash+corruption campaign and report survival",
+    )
+    p.add_argument("--trials", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--size", type=_parse_size, default=24 * MIB)
+    p.add_argument(
+        "--verbose", action="store_true", help="print a line per trial"
+    )
+    p.add_argument(
+        "--telemetry",
+        metavar="OUT.JSONL",
+        help="record campaign metrics/spans; write them as JSONL here",
+    )
+    p.set_defaults(func=cmd_crashtest)
 
     return parser
 

@@ -29,6 +29,7 @@ implementation.
 from __future__ import annotations
 
 import os
+import random
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional
@@ -89,6 +90,8 @@ class SectorDevice:
         self.undo_records_skipped = 0
         self.durability_scan_steps = 0
         self.mark_durable_calls = 0
+        self.torn_writes = 0
+        """Rolled-back writes of which a prefix survived (see crash())."""
 
     @property
     def total_bytes(self) -> int:
@@ -177,19 +180,44 @@ class SectorDevice:
         """Number of writes that are visible but not yet durable."""
         return len(self._pending)
 
-    def crash(self, now: float) -> None:
+    def crash(
+        self,
+        now: float,
+        rng: Optional[random.Random] = None,
+        tear_probability: float = 0.0,
+    ) -> None:
         """Simulate a power failure at time ``now``.
 
         Writes whose completion time is after ``now`` are rolled back in
         reverse order, restoring the exact durable image.  The device then
         refuses I/O until :meth:`revive` is called.
+
+        With an ``rng``, each rolled-back multi-sector write may instead
+        be *torn* (probability ``tear_probability``): a non-empty prefix
+        of its sectors persists and only the suffix is rolled back —
+        what a real disk leaves when power fails mid-transfer.  The hook
+        rides the ordinary pending-write records, so torn writes
+        automatically respect the same durability schedule as whole
+        ones.
         """
         self.mark_durable(now)
         pending = self._pending
         while pending:
             record = pending.pop()  # reverse write order
-            start = record.sector * self.sector_size
-            self._data[start : start + len(record.old_data)] = record.old_data
+            nsectors = len(record.old_data) // self.sector_size
+            keep = 0
+            if (
+                rng is not None
+                and nsectors > 1
+                and rng.random() < tear_probability
+            ):
+                keep = rng.randrange(1, nsectors)
+                self.torn_writes += 1
+            skip = keep * self.sector_size
+            start = record.sector * self.sector_size + skip
+            self._data[start : record.sector * self.sector_size + len(record.old_data)] = (
+                record.old_data[skip:]
+            )
         self._pending_monotone = True
         self._crashed = True
 

@@ -24,7 +24,7 @@ from repro.disk.device import SectorDevice
 from repro.disk.geometry import DiskGeometry
 from repro.disk.stats import DiskStats
 from repro.disk.trace import AccessTier, TraceEvent, TraceRecorder
-from repro.errors import OutOfRangeError
+from repro.errors import OutOfRangeError, TransientIOError
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.sim.clock import SimClock
 
@@ -39,6 +39,8 @@ class SimDisk:
         device: Optional[SectorDevice] = None,
         trace: Optional[TraceRecorder] = None,
         telemetry: Optional[Telemetry] = None,
+        read_retry_limit: int = 3,
+        retry_backoff: float = 0.002,
     ) -> None:
         self.geometry = geometry
         self.clock = clock
@@ -59,6 +61,13 @@ class SimDisk:
         self.stats = DiskStats()
         self._head_pos = 0
         self._busy_until = 0.0
+        # Transient read errors (see repro.faults) are retried with
+        # exponential backoff up to read_retry_limit times; each retry
+        # occupies the disk for the backoff interval.  Hard MediaErrors
+        # are never retried — they propagate to the caller immediately.
+        self.read_retry_limit = read_retry_limit
+        self.retry_backoff = retry_backoff
+        self.read_retries = 0
         # DiskStats stays the cheap always-on API; the registry mirrors it
         # so exported telemetry covers the disk layer too.  Instruments are
         # resolved once here; the hot paths below pay one boolean when
@@ -78,6 +87,7 @@ class SimDisk:
             tier.value: obs.counter("disk.requests", tier=tier.value)
             for tier in AccessTier
         }
+        self._m_retries = obs.counter("disk.read_retries")
 
     # ------------------------------------------------------------------
     # Timing model
@@ -118,10 +128,29 @@ class SimDisk:
     # ------------------------------------------------------------------
 
     def read(self, sector: int, count: int, label: str = "") -> bytes:
-        """Synchronously read ``count`` sectors (reads always block)."""
+        """Synchronously read ``count`` sectors (reads always block).
+
+        Transient device errors are retried up to ``read_retry_limit``
+        times, each retry costing an exponentially growing backoff on
+        the busy timeline; the last failure propagates.  Hard
+        ``MediaError`` failures propagate immediately.
+        """
         issue = self.clock.now()
         start, done, tier = self._schedule(sector, count * self.geometry.sector_size)
-        data = self.device.read(sector, count)
+        attempt = 0
+        while True:
+            try:
+                data = self.device.read(sector, count)
+                break
+            except TransientIOError:
+                attempt += 1
+                self.read_retries += 1
+                if self._obs_enabled:
+                    self._m_retries.inc()
+                if attempt > self.read_retry_limit:
+                    raise
+                done += self.retry_backoff * (2 ** (attempt - 1))
+                self._busy_until = done
         self.stats.record(False, len(data), True, tier.value, done - start)
         if self._obs_enabled:
             self._m_reads.inc()

@@ -24,6 +24,27 @@ class DeviceCrashedError(DiskError):
     """I/O was attempted on a device that has crashed and not been revived."""
 
 
+class MediaError(DiskError):
+    """A sector is permanently unreadable (grown defect, EIO).
+
+    Retrying does not help; the data at this address is gone.  Layers
+    above must either reconstruct the data from elsewhere (alternate
+    checkpoint region), skip it (roll-forward stops at the log tail), or
+    quarantine the region that contains it (the cleaner)."""
+
+    def __init__(self, message: str, sector: int = -1) -> None:
+        super().__init__(message)
+        self.sector = sector
+
+
+class TransientIOError(DiskError):
+    """A read failed but a retry of the same request may succeed.
+
+    Models recoverable media noise (ECC retries, vibration).  The timing
+    layer retries these with backoff; they should never escape to the
+    file system."""
+
+
 class FileSystemError(ReproError):
     """Base class for file-system level errors."""
 
@@ -70,6 +91,23 @@ class StaleHandleError(FileSystemError):
 
 class CorruptionError(FileSystemError):
     """On-disk state failed validation (bad magic, checksum, or pointer)."""
+
+
+class ChecksumMismatch(CorruptionError):
+    """A CRC-protected structure (checkpoint, summary) failed its check.
+
+    Distinguished from plain :class:`CorruptionError` so recovery code
+    can tell "this structure was damaged in place" (fall back to the
+    alternate copy, stop roll-forward) from "this pointer never made
+    sense"."""
+
+
+class TornWriteError(CorruptionError):
+    """A multi-block structure persisted only partially across a crash.
+
+    Raised when the readable prefix of a structure is valid but the
+    structure claims more blocks than actually survived — the signature
+    of a torn write at the end of the log."""
 
 
 class CheckpointError(CorruptionError):

@@ -1,0 +1,29 @@
+"""Deterministic storage fault injection (torn writes, bit rot, bad
+sectors, transient I/O errors) and the crash+corruption campaign behind
+``repro crashtest``.
+
+Everything here is policy layered *around* the stack under test:
+:class:`FaultInjector` decides what breaks, :class:`FaultyDevice` breaks
+it at the :class:`~repro.disk.device.SectorDevice` boundary, and the
+campaign in :mod:`repro.faults.campaign` checks that the LFS above
+detects, contains, or recovers from the damage with typed errors only.
+"""
+
+from repro.faults.campaign import (
+    CampaignReport,
+    TrialResult,
+    run_campaign,
+    run_trial,
+)
+from repro.faults.device import FaultyDevice
+from repro.faults.injector import FaultConfig, FaultInjector
+
+__all__ = [
+    "CampaignReport",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultyDevice",
+    "TrialResult",
+    "run_campaign",
+    "run_trial",
+]

@@ -20,7 +20,12 @@ from typing import List, Optional, Tuple
 
 from repro.common.serialization import Packer, Unpacker, checksum
 from repro.disk.sim_disk import SimDisk
-from repro.errors import CheckpointError, CorruptionError
+from repro.errors import (
+    CheckpointError,
+    ChecksumMismatch,
+    CorruptionError,
+    MediaError,
+)
 from repro.lfs.config import CHECKPOINT_MAGIC, CHECKPOINT_REGION_BLOCKS, LfsLayout
 from repro.lfs.segments import LogPosition
 from repro.obs import NULL_TELEMETRY, Telemetry
@@ -69,7 +74,7 @@ class CheckpointData:
             raise CorruptionError(f"bad checkpoint magic 0x{magic:08x}")
         crc = unpacker.u32()
         if checksum(data[unpacker.offset :]) != crc:
-            raise CorruptionError("checkpoint checksum mismatch")
+            raise ChecksumMismatch("checkpoint checksum mismatch")
         timestamp = unpacker.f64()
         sequence = unpacker.u64()
         active_segment = unpacker.u32()
@@ -110,6 +115,12 @@ class CheckpointManager:
         self.last_checkpoint_time: Optional[float] = None
         self.telemetry = telemetry or NULL_TELEMETRY
         self._m_written = self.telemetry.counter("checkpoint.writes")
+        self._m_rejects = self.telemetry.counter("checkpoint.region_rejects")
+        self.last_load_rejects = 0
+        """Regions rejected by the most recent load_latest() call.
+
+        Non-zero after a successful load means the mount survived on the
+        alternate (older) region — a detected-and-corrected fault."""
 
     @property
     def region_bytes(self) -> int:
@@ -137,21 +148,35 @@ class CheckpointManager:
         self.last_checkpoint_time = data.timestamp
 
     def load_latest(self) -> Tuple[CheckpointData, int]:
-        """Read both regions; return (newest valid checkpoint, its region)."""
+        """Read both regions; return (newest valid checkpoint, its region).
+
+        A region that cannot be read (``MediaError``) or fails any
+        validation while unpacking (bad magic, checksum mismatch,
+        truncation) is rejected individually; the mount proceeds on the
+        other region, falling back to the older checkpoint.  Only when
+        both regions are unusable does the mount fail, with a typed
+        :class:`CheckpointError`.
+        """
         candidates: List[Tuple[CheckpointData, int]] = []
+        rejects: List[str] = []
         sectors = CHECKPOINT_REGION_BLOCKS * self.layout.config.sectors_per_block
         for region in (0, 1):
-            raw = self.disk.read(
-                self._region_sector(region),
-                sectors,
-                label=f"checkpoint region {region}",
-            )
             try:
+                raw = self.disk.read(
+                    self._region_sector(region),
+                    sectors,
+                    label=f"checkpoint region {region}",
+                )
                 candidates.append((CheckpointData.unpack(raw), region))
-            except CorruptionError:
+            except (CorruptionError, MediaError) as exc:
+                rejects.append(f"region {region}: {exc}")
                 continue
+        self.last_load_rejects = len(rejects)
+        self._m_rejects.inc(len(rejects))
         if not candidates:
-            raise CheckpointError("no valid checkpoint region found")
+            raise CheckpointError(
+                "no valid checkpoint region found (" + "; ".join(rejects) + ")"
+            )
         best, region = max(candidates, key=lambda pair: pair[0].timestamp)
         self._next_region = 1 - region
         self.last_checkpoint_time = best.timestamp

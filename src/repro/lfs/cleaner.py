@@ -24,6 +24,12 @@ space first) plus two for the ablation benchmarks: cost-benefit
 Every cleaning pass ends with a checkpoint: cleaned segments are only
 reusable once the relocated metadata that references them is itself
 durable.
+
+A victim whose media cannot be read (:class:`~repro.errors.MediaError`,
+see :mod:`repro.faults`) is *quarantined* rather than aborting the
+pass: it leaves the dirty set permanently, so the cleaner never
+re-selects it and the writer never reuses it, and cleaning continues
+with the remaining victims.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.common.inode import BlockKey, BlockKind, Inode, INODE_SIZE
-from repro.errors import CorruptionError
+from repro.errors import CorruptionError, MediaError
 from repro.lfs.segment_usage import SegmentState
 from repro.lfs.summary import SegmentSummary, SummaryEntry
 from repro.obs import NULL_TELEMETRY, Telemetry
@@ -60,6 +66,7 @@ class CleanerStats:
     empty_segments_skipped: int = 0
     emergency_passes: int = 0
     busy_seconds: float = 0.0
+    segments_quarantined: int = 0
 
 
 class SegmentCleaner:
@@ -85,6 +92,7 @@ class SegmentCleaner:
         self._m_live_copied = obs.counter("cleaner.live_bytes_copied")
         self._m_live_blocks = obs.counter("cleaner.live_blocks_copied")
         self._m_dead_blocks = obs.counter("cleaner.dead_blocks_dropped")
+        self._m_quarantined = obs.counter("cleaner.segments_quarantined")
 
     # ------------------------------------------------------------------
     # Victim selection (§4.3.4)
@@ -195,7 +203,21 @@ class SegmentCleaner:
                     cleaned += 1
                     self.stats.segments_cleaned += 1
                     continue
-                self._relocate_live_blocks(seg)
+                try:
+                    self._relocate_live_blocks(seg)
+                except MediaError:
+                    # The victim's media is gone.  Quarantine it — it
+                    # leaves the dirty set, so it is never selected
+                    # again and never becomes a write target — and keep
+                    # cleaning the remaining victims.  Any live blocks
+                    # already re-dirtied into the cache before the error
+                    # are relocated by the flush below; the rest are
+                    # stranded and will surface as read errors, which is
+                    # detection, not silent loss.
+                    usage.quarantine(seg)
+                    self.stats.segments_quarantined += 1
+                    self._m_quarantined.inc()
+                    continue
                 occupied.append(seg)
             if occupied:
                 # The write-back both copies the live data and

@@ -19,6 +19,18 @@ Navigation mirrors the writer: the next partial segment normally starts
 where the previous one ended; when the writer skipped to a fresh segment
 (not enough room left), the previous summary's next-segment link says
 where to look instead.
+
+Roll-forward is the part of the system that reads bytes nothing
+vouches for — the log tail past the checkpoint is exactly where torn
+writes and crash-coincident corruption land (see :mod:`repro.faults`).
+Every failure it can observe is therefore typed and non-fatal: a
+summary that fails its magic/CRC/sequence guards (``ChecksumMismatch``,
+``TornWriteError``) ends the scan at the last good partial; an
+unreadable sector (``MediaError``) stops the scan and is counted; a
+replayed metadata block whose payload does not decode is skipped and
+counted.  Recovery never raises past the mount — the worst case is
+losing un-checkpointed tail writes, which is the paper's baseline
+guarantee anyway.
 """
 
 from __future__ import annotations
@@ -27,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.common.inode import BlockKind
-from repro.errors import CorruptionError
+from repro.errors import CorruptionError, InvalidArgumentError, MediaError
 from repro.lfs.checkpoint import CheckpointData
 from repro.lfs.segments import LogPosition
 from repro.lfs.segment_usage import SegmentState
@@ -48,6 +60,15 @@ class RollForwardReport:
     segments_visited: List[int] = field(default_factory=list)
     stop_reason: str = "checkpoint-only"
     recovery_seconds: float = 0.0
+    media_errors: int = 0
+    """Unreadable-sector errors that ended or limited the scan."""
+    corrupt_entries_skipped: int = 0
+    """Replayed metadata blocks whose payload failed to decode."""
+
+    @property
+    def degraded(self) -> bool:
+        """Did recovery detect (and survive) log-tail damage?"""
+        return bool(self.media_errors or self.corrupt_entries_skipped)
 
 
 def roll_forward(
@@ -66,6 +87,10 @@ def roll_forward(
     obs = fs.telemetry
     obs.counter("recovery.partials_applied").inc(report.partials_applied)
     obs.counter("recovery.blocks_recovered").inc(report.blocks_recovered)
+    obs.counter("recovery.media_errors").inc(report.media_errors)
+    obs.counter("recovery.corrupt_entries_skipped").inc(
+        report.corrupt_entries_skipped
+    )
     return report
 
 
@@ -84,11 +109,13 @@ def _roll_forward(
     report.segments_visited.append(seg)
 
     while True:
-        parsed = _try_parse(fs, seg, offset, expected_seq, checkpoint.timestamp)
+        parsed = _try_parse(
+            fs, seg, offset, expected_seq, checkpoint.timestamp, report
+        )
         if parsed is None and fallback_seg is not None and offset != 0:
             # The writer may have skipped to a fresh segment mid-flush.
             candidate = _try_parse(
-                fs, fallback_seg, 0, expected_seq, checkpoint.timestamp
+                fs, fallback_seg, 0, expected_seq, checkpoint.timestamp, report
             )
             if candidate is not None:
                 seg, offset = fallback_seg, 0
@@ -98,14 +125,32 @@ def _roll_forward(
             report.stop_reason = (
                 "log-end" if report.partials_applied else "no-writes-after-checkpoint"
             )
+            if report.media_errors:
+                report.stop_reason = "media-error"
             break
         summary, nsummary = parsed
-        _apply_partial(fs, seg, offset, nsummary, summary, report)
+        try:
+            _apply_partial(fs, seg, offset, nsummary, summary, report)
+        except MediaError:
+            # The summary was readable but its content blocks are not.
+            # Nothing past this point can be replayed consistently: stop
+            # here, keeping everything already applied.
+            report.media_errors += 1
+            report.stop_reason = "media-error"
+            break
         report.partials_applied += 1
         expected_seq = summary.seq + 1
         offset += nsummary + summary.nblocks
         if summary.next_segment_block != 0:
-            fallback_seg = layout.segment_of_block(summary.next_segment_block)
+            try:
+                fallback_seg = layout.segment_of_block(
+                    summary.next_segment_block
+                )
+            except InvalidArgumentError:
+                # A CRC-valid summary should never carry a bad link, but
+                # a bit flip that misses the checksummed range can; end
+                # the chain rather than chase a wild pointer.
+                fallback_seg = None
         if bps - offset < 2:
             if fallback_seg is None:
                 report.stop_reason = "segment-chain-end"
@@ -140,15 +185,25 @@ def _try_parse(
     offset: int,
     expected_seq: int,
     min_timestamp: float,
+    report: RollForwardReport,
 ) -> Optional[Tuple[SegmentSummary, int]]:
-    """Parse and validate the partial segment at (seg, offset)."""
+    """Parse and validate the partial segment at (seg, offset).
+
+    Returns ``None`` (treat as end of log) for every data-dependent
+    failure: bad magic, checksum mismatch, torn summary, sequence break,
+    or an unreadable sector under the summary itself.
+    """
     bs = fs.config.block_size
     bps = fs.config.blocks_per_segment
     if bps - offset < 2:
         return None
     first_block = fs.layout.segment_first_block(seg) + offset
     spb = fs.config.sectors_per_block
-    head = fs.disk.read(first_block * spb, spb, label="roll-forward probe")
+    try:
+        head = fs.disk.read(first_block * spb, spb, label="roll-forward probe")
+    except MediaError:
+        report.media_errors += 1
+        return None
     try:
         nsummary = SegmentSummary.peek_summary_blocks(head, bs)
     except CorruptionError:
@@ -156,11 +211,15 @@ def _try_parse(
     if offset + nsummary > bps:
         return None
     if nsummary > 1:
-        rest = fs.disk.read(
-            (first_block + 1) * spb,
-            (nsummary - 1) * spb,
-            label="roll-forward summary",
-        )
+        try:
+            rest = fs.disk.read(
+                (first_block + 1) * spb,
+                (nsummary - 1) * spb,
+                label="roll-forward summary",
+            )
+        except MediaError:
+            report.media_errors += 1
+            return None
         head = head + rest
     try:
         summary = SegmentSummary.unpack(head, bs)
@@ -197,17 +256,24 @@ def _apply_partial(
     for position, entry in enumerate(summary.entries):
         addr = first_content + position
         payload = raw[position * bs : (position + 1) * bs]
-        if entry.kind is BlockKind.IMAP:
-            if entry.index < fs.imap.num_blocks:
-                fs.imap.load_block(entry.index, payload)
-                fs.imap.block_addrs[entry.index] = addr
-                fs.imap.mark_block_dirty(entry.index)
-                report.imap_blocks_applied += 1
-        elif entry.kind is BlockKind.SEGUSAGE:
-            if entry.index < fs.usage.num_blocks:
-                fs.usage.load_block(entry.index, payload)
-                fs.usage.block_addrs[entry.index] = addr
-                report.usage_blocks_applied += 1
+        try:
+            if entry.kind is BlockKind.IMAP:
+                if entry.index < fs.imap.num_blocks:
+                    fs.imap.load_block(entry.index, payload)
+                    fs.imap.block_addrs[entry.index] = addr
+                    fs.imap.mark_block_dirty(entry.index)
+                    report.imap_blocks_applied += 1
+            elif entry.kind is BlockKind.SEGUSAGE:
+                if entry.index < fs.usage.num_blocks:
+                    fs.usage.load_block(entry.index, payload)
+                    fs.usage.block_addrs[entry.index] = addr
+                    report.usage_blocks_applied += 1
+        except CorruptionError:
+            # Silent corruption inside the payload (the summary CRC does
+            # not cover content blocks).  The checkpointed copy of this
+            # metadata block stays in effect; keep replaying the rest.
+            report.corrupt_entries_skipped += 1
+            continue
         # DATA / INDIRECT / DINDIRECT / INODE blocks need no replay: the
         # imap blocks logged in the same flush point at them already.
         report.blocks_recovered += 1

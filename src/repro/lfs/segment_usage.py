@@ -51,6 +51,7 @@ class SegmentState(enum.IntEnum):
     CLEAN = 0
     DIRTY = 1
     ACTIVE = 2  # current or pre-selected write target
+    QUARANTINED = 3  # unreadable media: never select, never reuse
 
 
 @dataclass
@@ -101,10 +102,9 @@ class SegmentUsage:
         # Derived indexes (see module docstring).  A fresh array is all
         # clean, and range() is already a valid min-heap.
         self._state_sets: Dict[SegmentState, Set[int]] = {
-            SegmentState.CLEAN: set(range(num_segments)),
-            SegmentState.DIRTY: set(),
-            SegmentState.ACTIVE: set(),
+            state: set() for state in SegmentState
         }
+        self._state_sets[SegmentState.CLEAN] = set(range(num_segments))
         self._clean_heap: List[int] = list(range(num_segments))
         self._total_live = 0
         self.heap_pushes = num_segments
@@ -224,6 +224,20 @@ class SegmentUsage:
 
     def dirty_segments(self) -> List[int]:
         return sorted(self._state_sets[SegmentState.DIRTY])
+
+    def quarantine(self, seg: int) -> None:
+        """Remove ``seg`` from circulation: its media is unreadable.
+
+        A quarantined segment is neither a cleaning victim nor a write
+        target; whatever live bytes it still accounts are stranded until
+        a future write to its sectors remaps them and an operator (or a
+        rebuilding cleaner pass) returns it to service via
+        :meth:`force_state`.
+        """
+        self.force_state(seg, SegmentState.QUARANTINED)
+
+    def quarantined_segments(self) -> List[int]:
+        return sorted(self._state_sets[SegmentState.QUARANTINED])
 
     def total_live_bytes(self) -> int:
         return self._total_live

@@ -23,7 +23,7 @@ from typing import List, Tuple
 
 from repro.common.inode import BlockKind, NIL
 from repro.common.serialization import U32, checksum
-from repro.errors import CorruptionError
+from repro.errors import ChecksumMismatch, CorruptionError, TornWriteError
 from repro.lfs.config import SUMMARY_MAGIC
 
 _HEADER_SIZE = 4 + 8 + 8 + 8 + 4 + 2 + 4  # through the checksum field
@@ -158,7 +158,9 @@ class SegmentSummary:
             raise CorruptionError(f"bad summary magic 0x{magic:08x}")
         (crc,) = U32.unpack_from(data, _CRC_OFFSET)
         if nsummary * block_size > len(data):
-            raise CorruptionError(
+            # A valid first block claiming more blocks than survived is
+            # the signature of a tear at the end of the log.
+            raise TornWriteError(
                 f"summary claims {nsummary} blocks, only "
                 f"{len(data) // block_size} supplied"
             )
@@ -171,7 +173,7 @@ class SegmentSummary:
         # we just parsed is equivalent to re-packing them (and much
         # cheaper — the cleaner unpacks a summary per partial segment).
         if checksum(data[:_CRC_OFFSET] + data[_HEADER_SIZE:offset]) != crc:
-            raise CorruptionError(f"summary checksum mismatch at seq {seq}")
+            raise ChecksumMismatch(f"summary checksum mismatch at seq {seq}")
         return cls(
             seq=seq,
             timestamp=timestamp,

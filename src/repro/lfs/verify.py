@@ -38,7 +38,7 @@ from repro.common.inode import (
 )
 from repro.common.serialization import iter_u64
 from repro.disk.device import SectorDevice
-from repro.errors import CorruptionError
+from repro.errors import CorruptionError, MediaError, TransientIOError
 from repro.lfs.checkpoint import CheckpointData
 from repro.lfs.config import CHECKPOINT_REGION_BLOCKS, LfsConfig, LfsLayout
 from repro.lfs.filesystem import SuperBlock
@@ -55,6 +55,8 @@ class VerifyReport:
     blocks_checked: int = 0
     directories_checked: int = 0
     live_bytes_found: int = 0
+    media_errors: int = 0
+    """Reads that failed hard; each also appends to ``errors``."""
     errors: List[str] = field(default_factory=list)
 
     @property
@@ -80,8 +82,23 @@ class _Verifier:
         self.live_per_segment: Dict[int, int] = {}
 
     def _read_block(self, addr: int) -> bytes:
+        """Read one block, retrying a transient failure once.
+
+        The verifier talks to the raw device (no timing layer, hence no
+        retry loop in front of it); injected transient errors are
+        guaranteed to succeed on the identical retry.  Hard
+        ``MediaError`` failures propagate to the caller, which reports
+        them as findings instead of crashing the walk.
+        """
         spb = self.config.sectors_per_block
-        return self.device.read(addr * spb, spb)
+        try:
+            return self.device.read(addr * spb, spb)
+        except TransientIOError:
+            return self.device.read(addr * spb, spb)
+
+    def _media_error(self, what: str, exc: MediaError) -> None:
+        self.report.media_errors += 1
+        self.report.error(f"{what}: {exc}")
 
     def _claim(
         self, addr: int, inum: int, what: str, live_bytes: int | None = None
@@ -123,13 +140,13 @@ class _Verifier:
     def load_checkpoint(self) -> CheckpointData:
         candidates = []
         for addr in self.layout.checkpoint_addrs:
-            raw = b"".join(
-                self._read_block(addr + i)
-                for i in range(CHECKPOINT_REGION_BLOCKS)
-            )
             try:
+                raw = b"".join(
+                    self._read_block(addr + i)
+                    for i in range(CHECKPOINT_REGION_BLOCKS)
+                )
                 candidates.append(CheckpointData.unpack(raw))
-            except CorruptionError:
+            except (CorruptionError, MediaError):
                 continue
         if not candidates:
             raise CorruptionError("no valid checkpoint region")
@@ -141,7 +158,11 @@ class _Verifier:
         for index, addr in enumerate(checkpoint.imap_addrs):
             if addr == NIL:
                 continue
-            raw = self._read_block(addr)
+            try:
+                raw = self._read_block(addr)
+            except MediaError as exc:
+                self._media_error(f"imap block {index}", exc)
+                continue
             first = index * per_block
             for position in range(
                 min(per_block, self.config.max_inodes - first)
@@ -158,7 +179,11 @@ class _Verifier:
         if entry.inode_addr == NIL:
             self.report.error(f"allocated inode {inum} has no disk address")
             return None
-        raw = self._read_block(entry.inode_addr)
+        try:
+            raw = self._read_block(entry.inode_addr)
+        except MediaError as exc:
+            self._media_error(f"inode {inum}", exc)
+            return None
         try:
             inode = Inode.unpack(
                 raw[entry.slot * INODE_SIZE : (entry.slot + 1) * INODE_SIZE]
@@ -189,19 +214,32 @@ class _Verifier:
         single: List[int] = []
         if inode.indirect != NIL:
             if self._claim(inode.indirect, inode.inum, "indirect"):
-                single = list(iter_u64(self._read_block(inode.indirect)))
+                try:
+                    single = list(iter_u64(self._read_block(inode.indirect)))
+                except MediaError as exc:
+                    self._media_error(f"indirect of inode {inode.inum}", exc)
         for position, addr in enumerate(single):
             if addr != NIL:
                 blocks[N_DIRECT + position] = addr
         if inode.dindirect != NIL:
             if self._claim(inode.dindirect, inode.inum, "dindirect"):
-                roots = list(iter_u64(self._read_block(inode.dindirect)))
+                try:
+                    roots = list(iter_u64(self._read_block(inode.dindirect)))
+                except MediaError as exc:
+                    self._media_error(f"dindirect of inode {inode.inum}", exc)
+                    roots = []
                 for leaf_index, leaf_addr in enumerate(roots):
                     if leaf_addr == NIL:
                         continue
                     if not self._claim(leaf_addr, inode.inum, "indirect leaf"):
                         continue
-                    leaves = list(iter_u64(self._read_block(leaf_addr)))
+                    try:
+                        leaves = list(iter_u64(self._read_block(leaf_addr)))
+                    except MediaError as exc:
+                        self._media_error(
+                            f"indirect leaf of inode {inode.inum}", exc
+                        )
+                        continue
                     base = N_DIRECT + ppb + leaf_index * ppb
                     for position, addr in enumerate(leaves):
                         if addr != NIL:
@@ -273,7 +311,9 @@ class _Verifier:
                     block = DirectoryBlock.decode(
                         self._read_block(addr), self.config.block_size
                     )
-                except CorruptionError as exc:
+                except (CorruptionError, MediaError) as exc:
+                    if isinstance(exc, MediaError):
+                        self.report.media_errors += 1
                     self.report.error(
                         f"directory {dir_inum} block {lbn}: {exc}"
                     )
@@ -313,7 +353,7 @@ class _Verifier:
             usage.load_all(
                 checkpoint.usage_addrs, lambda addr: self._read_block(addr)
             )
-        except CorruptionError as exc:
+        except (CorruptionError, MediaError) as exc:
             self.report.error(f"usage array unreadable: {exc}")
             return self.report
         for seg, found in self.live_per_segment.items():
@@ -331,5 +371,21 @@ class _Verifier:
 
 
 def verify_lfs(device: SectorDevice) -> VerifyReport:
-    """Check every LFS on-disk invariant; read-only."""
-    return _Verifier(device).run()
+    """Check every LFS on-disk invariant; read-only.
+
+    Never raises on damaged media or a damaged image: unreadable or
+    invalid structures become findings in the returned report (the
+    crash+corruption campaign depends on this).
+    """
+    try:
+        try:
+            verifier = _Verifier(device)
+        except TransientIOError:
+            verifier = _Verifier(device)
+    except (CorruptionError, MediaError) as exc:
+        report = VerifyReport()
+        if isinstance(exc, MediaError):
+            report.media_errors += 1
+        report.error(f"superblock: {exc}")
+        return report
+    return verifier.run()

@@ -1,6 +1,7 @@
 """A dependency-free linter for the classes of defect this repo cares
-about: unused imports, write-only local variables, and instrumented
-modules that bypass the telemetry registry with bare ``print``.
+about: unused imports, write-only local variables, instrumented modules
+that bypass the telemetry registry with bare ``print``, and broad
+``except`` clauses in the crash-recovery modules (FAULT001).
 
 The container this project builds in has no third-party linter, so this
 module is the fallback for ``make lint`` — when ``ruff`` is installed
@@ -191,6 +192,51 @@ def _check_obs_print_bypass(
             )
 
 
+_RECOVERY_TYPED_FILES = ("repro/lfs/recovery.py", "repro/lfs/checkpoint.py")
+"""Crash-recovery modules where every caught exception must be typed.
+
+A blanket ``except Exception`` there can silently swallow the very
+corruption signals (``ChecksumMismatch``, ``MediaError``, ...) the
+recovery path exists to classify, turning detected damage into wrong
+answers.  The crash campaign (:mod:`repro.faults`) relies on anything
+unexpected escaping these modules."""
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    kinds = []
+    if handler.type is None:  # bare `except:`
+        return True
+    if isinstance(handler.type, ast.Tuple):
+        kinds = list(handler.type.elts)
+    else:
+        kinds = [handler.type]
+    return any(
+        isinstance(kind, ast.Name) and kind.id in ("Exception", "BaseException")
+        for kind in kinds
+    )
+
+
+def _check_recovery_broad_except(
+    path: str, tree: ast.Module, noqa: Set[int]
+) -> Iterator[Tuple[str, int, str]]:
+    normalized = path.replace(os.sep, "/")
+    if not normalized.endswith(_RECOVERY_TYPED_FILES):
+        return
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.ExceptHandler)
+            and _is_broad_handler(node)
+            and node.lineno not in noqa
+        ):
+            yield (
+                path,
+                node.lineno,
+                "FAULT001 broad `except` in a crash-recovery module; "
+                "catch typed repro.errors classes so corruption stays "
+                "classified",
+            )
+
+
 def lint_file(path: str) -> List[Tuple[str, int, str]]:
     with open(path, encoding="utf-8") as handle:
         source = handle.read()
@@ -202,6 +248,7 @@ def lint_file(path: str) -> List[Tuple[str, int, str]]:
     findings = list(_check_unused_imports(path, tree, noqa))
     findings.extend(_check_unused_locals(path, tree, noqa))
     findings.extend(_check_obs_print_bypass(path, tree, noqa))
+    findings.extend(_check_recovery_broad_except(path, tree, noqa))
     return findings
 
 

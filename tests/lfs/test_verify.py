@@ -1,6 +1,5 @@
 """Tests for the offline LFS verifier — and using it as a test oracle."""
 
-import pytest
 
 from repro.lfs.filesystem import LogStructuredFS
 from repro.lfs.verify import verify_lfs
@@ -99,7 +98,8 @@ class TestVerifierCatchesCorruption:
         assert any("nlink" in error for error in report.errors)
 
     def test_blank_device_reports_error(self, disk):
-        from repro.errors import CorruptionError
-
-        with pytest.raises(CorruptionError):
-            verify_lfs(disk.device)
+        # verify_lfs never raises on a damaged image: a device with no
+        # recognizable superblock comes back as a failed report.
+        report = verify_lfs(disk.device)
+        assert not report.consistent
+        assert any("superblock" in error for error in report.errors)

@@ -64,6 +64,61 @@ class TestObsPrintBypass:
         assert not any("OBS001" in m for _, _, m in lint_file(path))
 
 
+BROAD_EXCEPT = """\
+def load():
+    try:
+        return parse()
+    except Exception:
+        return None
+"""
+
+
+class TestRecoveryBroadExcept:
+    def test_flags_except_exception_in_recovery(self, tmp_path):
+        path = write_module(tmp_path, "repro/lfs/recovery.py", BROAD_EXCEPT)
+        assert any("FAULT001" in m for _, _, m in lint_file(path))
+
+    def test_flags_bare_except_in_checkpoint(self, tmp_path):
+        source = "try:\n    x = 1\nexcept:\n    pass\n"
+        path = write_module(tmp_path, "repro/lfs/checkpoint.py", source)
+        assert any("FAULT001" in m for _, _, m in lint_file(path))
+
+    def test_flags_broad_member_of_tuple(self, tmp_path):
+        source = (
+            "try:\n"
+            "    x = 1\n"
+            "except (ValueError, BaseException):\n"
+            "    pass\n"
+        )
+        path = write_module(tmp_path, "repro/lfs/recovery.py", source)
+        assert any("FAULT001" in m for _, _, m in lint_file(path))
+
+    def test_typed_except_is_fine(self, tmp_path):
+        source = (
+            "from repro.errors import CorruptionError\n"
+            "try:\n"
+            "    x = 1\n"
+            "except (CorruptionError, ValueError):\n"
+            "    pass\n"
+        )
+        path = write_module(tmp_path, "repro/lfs/recovery.py", source)
+        assert not any("FAULT001" in m for _, _, m in lint_file(path))
+
+    def test_other_modules_may_catch_broadly(self, tmp_path):
+        path = write_module(tmp_path, "repro/faults/campaign.py", BROAD_EXCEPT)
+        assert not any("FAULT001" in m for _, _, m in lint_file(path))
+
+    def test_noqa_suppresses_the_finding(self, tmp_path):
+        source = (
+            "try:\n"
+            "    x = 1\n"
+            "except Exception:  # noqa\n"
+            "    pass\n"
+        )
+        path = write_module(tmp_path, "repro/lfs/recovery.py", source)
+        assert not any("FAULT001" in m for _, _, m in lint_file(path))
+
+
 class TestRepoIsClean:
     def test_src_tests_benchmarks_lint_clean(self, capsys):
         repo_root = os.path.dirname(
