@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench crashtest ci
+.PHONY: test lint bench-smoke bench crashtest service-bench ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,4 +35,10 @@ bench:
 crashtest:
 	$(PYTHON) -m repro crashtest --trials 10 --seed 0
 
-ci: lint test bench-smoke crashtest
+# Tiny client sweep; exits nonzero if any request is dropped.  The
+# full sweep (and the committed BENCH_service.json) comes from
+# benchmarks/test_service_scaling.py.
+service-bench:
+	$(PYTHON) -m repro.service.bench --smoke
+
+ci: lint test bench-smoke service-bench crashtest

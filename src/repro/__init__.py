@@ -15,7 +15,10 @@ The package provides:
   the paper's benchmarks (Figures 1-5, §3.1) and reporting;
 * :mod:`repro.faults` — deterministic media-fault injection (torn
   writes, bit rot, bad sectors, transient I/O errors) and the
-  ``repro crashtest`` crash+corruption campaign.
+  ``repro crashtest`` crash+corruption campaign;
+* :mod:`repro.service` — a simulated-time multi-client front-end:
+  request scheduler, group commit, and cleaner-aware admission control
+  (``repro serve-sim``).
 
 Quickstart::
 
@@ -49,6 +52,7 @@ from repro.ffs.filesystem import FastFileSystem, make_ffs
 from repro.ffs.fsck import fsck
 from repro.lfs.config import LfsConfig
 from repro.lfs.filesystem import LogStructuredFS, make_lfs
+from repro.service import ServiceConfig, ServiceStats, simulate_service
 from repro.sim.clock import SimClock
 from repro.sim.cpu import CpuCosts, CpuModel
 from repro.vfs.interface import FileHandle, StorageManager
@@ -88,5 +92,8 @@ __all__ = [
     "FaultInjector",
     "FaultyDevice",
     "run_campaign",
+    "ServiceConfig",
+    "ServiceStats",
+    "simulate_service",
     "__version__",
 ]

@@ -91,11 +91,33 @@ class WritebackMonitor:
             return self._fire(WritebackReason.AGE)
         return None
 
+    def next_age_deadline(self) -> Optional[float]:
+        """Instant at which the oldest dirty block crosses the age
+        threshold (None while nothing is dirty).
+
+        The service layer's background flusher schedules its wake-ups
+        from this instead of polling ``check()`` — and because an
+        explicit flush (``note_explicit`` + the flush itself) empties
+        the dirty set, the deadline naturally resets: blocks dirtied
+        after the flush get a fresh age budget.
+        """
+        oldest = self.cache.oldest_dirty_time()
+        if oldest is None:
+            return None
+        return oldest + self.config.age_threshold
+
     def _fire(self, reason: WritebackReason) -> WritebackReason:
         self.triggers[reason] = self.triggers.get(reason, 0) + 1
         self._m_triggers[reason].inc()
         return reason
 
     def note_explicit(self, reason: WritebackReason) -> None:
-        """Record an externally initiated write-back (sync, checkpoint)."""
+        """Record an externally initiated write-back (sync, checkpoint).
+
+        The caller is about to flush the cache itself; once that flush
+        completes, the dirty-trigger state (dirty-bytes threshold and
+        the age clock, both derived from the cache's dirty set) is
+        reset as a side effect — ``check()`` reports None and
+        ``next_age_deadline()`` starts over from the next dirtying.
+        """
         self._fire(reason)

@@ -19,6 +19,7 @@ Commands::
     fig {1,3,4,5,scaling,recovery}            run a paper experiment
     stats IMAGE                               mount with telemetry, report
     crashtest --trials N --seed S             crash+corruption campaign
+    serve-sim --clients N --seed S            multi-client service sim
 
 ``fig --telemetry out.jsonl`` records the experiment's metrics and
 spans (see :mod:`repro.obs`) and writes them as JSONL for offline
@@ -308,6 +309,32 @@ def cmd_crashtest(args) -> int:
     return 0 if report.survived_all else 1
 
 
+def cmd_serve_sim(args) -> int:
+    from repro.obs import Telemetry, export_jsonl
+    from repro.service import ServiceConfig, simulate_service
+
+    telemetry = Telemetry() if args.telemetry else None
+    config = ServiceConfig(
+        num_clients=args.clients,
+        seed=args.seed,
+        requests_per_client=args.requests_per_client,
+        commit_window=args.commit_window,
+        fill_fraction=args.fill,
+    )
+    stats, fs = simulate_service(
+        config, total_bytes=args.size, telemetry=telemetry
+    )
+    fs.unmount()
+    print(stats.render(f"serve-sim clients={args.clients} seed={args.seed}"))
+    if args.image:
+        fs.disk.device.save(args.image)
+        print(f"image -> {args.image}")
+    if telemetry is not None:
+        lines = export_jsonl(telemetry, args.telemetry)
+        print(f"telemetry: {lines} records -> {args.telemetry}")
+    return 1 if stats.dropped else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -396,6 +423,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="record campaign metrics/spans; write them as JSONL here",
     )
     p.set_defaults(func=cmd_crashtest)
+
+    p = sub.add_parser(
+        "serve-sim",
+        help="run the multi-client service simulation and report",
+    )
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--requests-per-client", type=int, default=100)
+    p.add_argument(
+        "--commit-window",
+        type=float,
+        default=0.01,
+        help="group-commit window in simulated seconds",
+    )
+    p.add_argument(
+        "--fill",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="pre-fill the log to this fraction of serviceable capacity",
+    )
+    p.add_argument("--size", type=_parse_size, default=64 * MIB)
+    p.add_argument(
+        "--image",
+        metavar="OUT.IMG",
+        help="save the post-run device image here",
+    )
+    p.add_argument(
+        "--telemetry",
+        metavar="OUT.JSONL",
+        help="record service metrics/spans; write them as JSONL here",
+    )
+    p.set_defaults(func=cmd_serve_sim)
 
     return parser
 

@@ -93,6 +93,31 @@ class SegmentCleaner:
         self._m_live_blocks = obs.counter("cleaner.live_blocks_copied")
         self._m_dead_blocks = obs.counter("cleaner.dead_blocks_dropped")
         self._m_quarantined = obs.counter("cleaner.segments_quarantined")
+        self._g_reserve = obs.gauge("cleaner.clean_reserve")
+        self._m_victims = {
+            p: obs.counter("cleaner.victims", policy=p.value)
+            for p in CleanerPolicy
+        }
+
+    # ------------------------------------------------------------------
+    # Clean-segment reserve (backpressure input)
+    # ------------------------------------------------------------------
+
+    def clean_reserve(self) -> int:
+        """Clean segments available beyond the writer's hard reserve.
+
+        This is the number the service layer's admission controller
+        watches: when it approaches zero, the next flush is at risk of
+        having to clean synchronously (or, past the hard reserve, of
+        raising ``NoSpaceError``), so writers should be throttled while
+        the cleaner catches up.  May be negative transiently while the
+        cleaner itself is consuming reserve segments.
+        """
+        reserve = (
+            self.fs.usage.clean_count() - self.fs.segments.reserve_segments
+        )
+        self._g_reserve.set(reserve)
+        return reserve
 
     # ------------------------------------------------------------------
     # Victim selection (§4.3.4)
@@ -189,6 +214,7 @@ class SegmentCleaner:
                 break
             self.stats.passes += 1
             self._m_passes.inc()
+            self._m_victims[self.policy].inc(len(victims))
             occupied = []
             for seg in victims:
                 # §5.3: "Segments with no live blocks have no cost."  The
@@ -239,6 +265,7 @@ class SegmentCleaner:
             else:
                 stagnant_passes = 0
         self.stats.busy_seconds += self.fs.clock.now() - start
+        self.clean_reserve()  # refresh the cleaner.clean_reserve gauge
         return cleaned
 
     # ------------------------------------------------------------------

@@ -664,8 +664,23 @@ class LogStructuredFS(BaseFileSystem):
         """§4.3.5's sync-request trigger: the caller blocks until the
         pending partial segment (which contains this file's dirty
         blocks, among everything else) is on disk."""
-        self._handle_inode(handle)  # validates handle and mount state
-        self.cpu.syscall()
+        self.fsync_many([handle])
+
+    def fsync_many(self, handles) -> None:
+        """Group commit: one partial-segment flush covers every handle.
+
+        Because a segment write already carries *all* dirty state, N
+        concurrent ``fsync`` requests need exactly one flush — this is
+        the hook the service layer's :class:`~repro.service.committer.
+        GroupCommitter` uses to amortize the paper's small-write problem
+        across clients.  Each caller still pays its own syscall cost;
+        the flush and the drain are paid once.
+        """
+        if not handles:
+            return
+        for handle in handles:
+            self._handle_inode(handle)  # validates handle and mount state
+            self.cpu.syscall()
         self.monitor.note_explicit(WritebackReason.SYNC)
         self.flush_log()
         self.disk.drain()

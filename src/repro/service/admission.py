@@ -1,0 +1,132 @@
+"""Admission control with cleaner-aware backpressure.
+
+Two independent gates, checked in order:
+
+1. **Bounded queue** — at most ``admission_capacity`` requests may be
+   in the system at once; excess arrivals are rejected and the client
+   retries after a backoff.  This caps memory and bounds tail latency
+   instead of letting the queue grow without limit.
+2. **Clean-segment reserve** — write-class requests (write, fsync,
+   delete: anything that consumes log space) are *throttled* when the
+   cleaner's clean-segment reserve drops below a watermark.  A
+   throttled writer pays for a cleaning pass — simulated time advances
+   while the cleaner runs, which is exactly the stall a real writer
+   would see — and then retries.  This is the pacing Lomet & Luo argue
+   for: reclamation keeps up with foreground load because foreground
+   load is made to wait for it, and the log can never wedge at high
+   utilization because writers slow down *before* the hard reserve is
+   breached.
+
+A request that still finds the reserve low after
+``max_throttle_retries`` cleaning passes is force-admitted: the file
+system's own emergency cleaning (and, past that, ``NoSpaceError``) is
+the final authority, and the service must terminate even on a disk
+that cleaning cannot help.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.service.config import ServiceConfig
+from repro.service.stats import ServiceStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lfs.filesystem import LogStructuredFS
+
+WRITE_CLASS = frozenset({"write", "fsync", "delete"})
+"""Request kinds that consume log space and respect the watermark."""
+
+
+class Decision(enum.Enum):
+    ADMIT = "admit"
+    THROTTLE = "throttle"
+    REJECT = "reject"
+
+
+class AdmissionController:
+    """Bounded queue + clean-reserve watermark over one LFS."""
+
+    def __init__(
+        self,
+        fs: "LogStructuredFS",
+        config: ServiceConfig,
+        stats: ServiceStats,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.fs = fs
+        self.config = config
+        self.stats = stats
+        self.capacity = config.effective_capacity
+        # The file system's own self-maintenance keeps the clean count
+        # near ``clean_low_water`` in steady state, so a useful service
+        # watermark sits *above* that floor: backpressure engages while
+        # the fs can still clean calmly, not after it is already in
+        # emergency territory.
+        self.watermark = config.reserve_watermark + fs.config.clean_low_water
+        self.in_flight = 0
+        obs = telemetry or NULL_TELEMETRY
+        self._g_queue = obs.gauge("service.queue_depth")
+        self._m_admitted = obs.counter("service.admitted")
+        self._m_rejected = obs.counter("service.rejected")
+        self._m_throttles = obs.counter("service.throttle_events")
+        self._m_throttle_s = obs.counter("service.throttle_seconds")
+        self._m_forced = obs.counter("service.forced_admissions")
+
+    # ------------------------------------------------------------------
+    # The two gates
+    # ------------------------------------------------------------------
+
+    def reserve_low(self) -> bool:
+        return self.fs.cleaner.clean_reserve() < self.watermark
+
+    def try_admit(self, kind: str, throttle_count: int = 0) -> Decision:
+        """Decide a request's fate; ADMIT increments the queue depth."""
+        if self.in_flight >= self.capacity:
+            self.stats.rejections += 1
+            self._m_rejected.inc()
+            return Decision.REJECT
+        if (
+            kind in WRITE_CLASS
+            and throttle_count < self.config.max_throttle_retries
+            and self.reserve_low()
+        ):
+            return Decision.THROTTLE
+        if (
+            kind in WRITE_CLASS
+            and throttle_count >= self.config.max_throttle_retries
+            and self.reserve_low()
+        ):
+            self.stats.forced_admissions += 1
+            self._m_forced.inc()
+        self.in_flight += 1
+        self._g_queue.set(self.in_flight)
+        self._m_admitted.inc()
+        return Decision.ADMIT
+
+    def pay_throttle(self) -> float:
+        """Run one paced cleaning pass on the throttled writer's dime.
+
+        Returns the simulated seconds the writer stalled.  The cleaning
+        target clears the watermark with slack, so one stall buys
+        enough reserve for many subsequent admissions and throttling
+        self-limits instead of recurring on every write.
+        """
+        clock = self.fs.clock
+        start = clock.now()
+        self.stats.throttle_events += 1
+        self._m_throttles.inc()
+        target = self.fs.segments.reserve_segments + self.watermark + 2
+        self.fs.cleaner.clean(target)
+        stalled = clock.now() - start
+        self.stats.throttle_seconds += stalled
+        self._m_throttle_s.inc(stalled)
+        return stalled
+
+    def release(self) -> None:
+        if self.in_flight <= 0:
+            raise RuntimeError("admission release without admit")
+        self.in_flight -= 1
+        self._g_queue.set(self.in_flight)

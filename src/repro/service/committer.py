@@ -1,0 +1,103 @@
+"""Group commit: one partial-segment flush per commit window.
+
+§4.3.5's sync request is the small-write problem in miniature: each
+``fsync`` forces a partial-segment write, and N clients fsyncing
+independently would pay N flushes for what is logically one log append.
+The committer holds the first fsync of a window for ``commit_window``
+simulated seconds; every fsync that arrives meanwhile joins the batch,
+and the window closes with a single :meth:`~repro.lfs.filesystem.
+LogStructuredFS.fsync_many` — one flush, one drain, N completions.
+
+The committer never calls back into the scheduler directly: completions
+are handed to an ``enqueue`` hook so they run as ordinary events on the
+scheduler's ready queue (commit work must not preempt the request that
+happened to close the window).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.service.config import ServiceConfig
+from repro.service.stats import ServiceStats
+from repro.vfs.interface import FileHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lfs.filesystem import LogStructuredFS
+
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+"""Histogram buckets for fsyncs-per-flush (implicit +inf appended)."""
+
+
+class GroupCommitter:
+    """Coalesces concurrent fsync requests into one flush."""
+
+    def __init__(
+        self,
+        fs: "LogStructuredFS",
+        config: ServiceConfig,
+        stats: ServiceStats,
+        enqueue: Callable[[Callable[[], None]], None],
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.fs = fs
+        self.config = config
+        self.stats = stats
+        self._enqueue = enqueue
+        self._waiters: List[Tuple[FileHandle, Callable[[], None]]] = []
+        self._window_open = False
+        self.commits = 0
+        self.telemetry = telemetry or NULL_TELEMETRY
+        obs = self.telemetry
+        self._m_commits = obs.counter("service.commits")
+        self._m_fsyncs = obs.counter("service.fsyncs_committed")
+        self._h_batch = obs.histogram(
+            "service.commit_batch_size", buckets=BATCH_BUCKETS
+        )
+
+    @property
+    def window_open(self) -> bool:
+        return self._window_open
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def request_commit(
+        self, handle: FileHandle, done: Callable[[], None]
+    ) -> None:
+        """Join the current commit window (opening one if needed).
+
+        ``done`` runs — via the scheduler's ready queue — once the
+        flush that covers ``handle`` is durable.
+        """
+        self._waiters.append((handle, done))
+        if not self._window_open:
+            self._window_open = True
+            deadline = self.fs.clock.now() + self.config.commit_window
+            self.fs.clock.call_at(
+                deadline, lambda: self._enqueue(self._commit)
+            )
+
+    def _commit(self) -> None:
+        batch = self._waiters
+        self._waiters = []
+        self._window_open = False
+        if not batch:
+            return
+        with self.telemetry.span(
+            "service.group_commit", batch=len(batch)
+        ):
+            self.fs.fsync_many([handle for handle, _done in batch])
+        self.commits += 1
+        self.stats.note_batch(len(batch))
+        self._m_commits.inc()
+        self._m_fsyncs.inc(len(batch))
+        self._h_batch.observe(len(batch))
+        for _handle, done in batch:
+            self._enqueue(done)
+
+    def flush_now(self) -> None:
+        """Close the window immediately (drain at end of run)."""
+        self._commit()

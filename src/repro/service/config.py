@@ -1,0 +1,132 @@
+"""Service-layer configuration.
+
+One :class:`ServiceConfig` describes a whole multi-client run: how many
+clients, what each client's request stream looks like, how long the
+group-commit window stays open, and where admission control draws its
+backpressure watermark.  Everything is deterministic given ``seed`` —
+the config deliberately contains no wall-clock quantities (all times
+are simulated seconds on the shared :class:`~repro.sim.clock.SimClock`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import InvalidArgumentError
+from repro.units import KIB
+
+DEFAULT_MIX: Dict[str, float] = {
+    "write": 0.40,
+    "fsync": 0.25,
+    "read": 0.15,
+    "open": 0.05,
+    "delete": 0.15,
+}
+"""Request mix: write-heavy with frequent fsync, the shape that makes
+group commit matter (LogBase-style OLTP front-end over a log store)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunable parameters of one simulated service run."""
+
+    num_clients: int = 4
+    """Concurrent client request streams."""
+
+    seed: int = 0
+    """Master seed; client ``i`` derives its own RNG from (seed, i)."""
+
+    requests_per_client: int = 100
+    """Requests each client issues before going quiet."""
+
+    mix: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_MIX)
+    )
+    """Relative weights of write / fsync / read / open / delete."""
+
+    think_mean: float = 0.002
+    """Mean client think time between requests (exponential, seconds)."""
+
+    write_min_bytes: int = 1 * KIB
+    write_max_bytes: int = 32 * KIB
+    """Per-write payload size band (log-uniform within the band)."""
+
+    commit_window: float = 0.01
+    """Seconds a group-commit window stays open collecting fsyncs."""
+
+    admission_capacity: int = 0
+    """Bounded request queue depth; 0 means ``max(16, 4 * clients)``."""
+
+    reserve_watermark: int = 2
+    """Throttle writers when the cleaner's clean-segment reserve (clean
+    segments beyond the writer's hard reserve) drops below this."""
+
+    max_throttle_retries: int = 3
+    """Throttle passes per request before it is force-admitted (the
+    file system's own emergency cleaning is the last resort — the
+    service must terminate even on a disk that cannot be cleaned)."""
+
+    retry_backoff: float = 0.005
+    """Seconds a rejected request waits before re-entering admission."""
+
+    flusher_period: float = 0.5
+    """Background flusher wake-up period (services the age trigger)."""
+
+    max_files_per_client: int = 32
+    min_files_per_client: int = 2
+    """Working-set bounds for each client's private directory."""
+
+    fill_fraction: float = 0.0
+    """Pre-fill the log to this fraction of serviceable capacity before
+    serving (0 disables).  High values exercise cleaner backpressure."""
+
+    fragment_every: int = 8
+    """During pre-fill, delete every Nth file to fragment segments."""
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise InvalidArgumentError(
+                f"need at least one client: {self.num_clients}"
+            )
+        if self.requests_per_client < 1:
+            raise InvalidArgumentError(
+                f"need at least one request per client: "
+                f"{self.requests_per_client}"
+            )
+        if self.commit_window < 0:
+            raise InvalidArgumentError(
+                f"negative commit window: {self.commit_window}"
+            )
+        if self.think_mean <= 0:
+            raise InvalidArgumentError(
+                f"think_mean must be positive: {self.think_mean}"
+            )
+        if not 0.0 <= self.fill_fraction < 1.0:
+            raise InvalidArgumentError(
+                f"fill_fraction must be in [0, 1): {self.fill_fraction}"
+            )
+        if self.min_files_per_client < 1:
+            raise InvalidArgumentError("min_files_per_client must be >= 1")
+        if self.max_files_per_client < self.min_files_per_client:
+            raise InvalidArgumentError(
+                "max_files_per_client below min_files_per_client"
+            )
+        unknown = set(self.mix) - set(DEFAULT_MIX)
+        if unknown:
+            raise InvalidArgumentError(
+                f"unknown request kinds in mix: {sorted(unknown)}"
+            )
+        if not self.mix or sum(self.mix.values()) <= 0:
+            raise InvalidArgumentError("request mix has no weight")
+        if self.write_min_bytes < 1 or (
+            self.write_max_bytes < self.write_min_bytes
+        ):
+            raise InvalidArgumentError(
+                f"bad write size band: "
+                f"[{self.write_min_bytes}, {self.write_max_bytes}]"
+            )
+
+    @property
+    def effective_capacity(self) -> int:
+        return self.admission_capacity or max(16, 4 * self.num_clients)

@@ -1,0 +1,419 @@
+"""The multi-client request scheduler.
+
+A :class:`RequestScheduler` interleaves N deterministic client request
+streams over one :class:`~repro.lfs.filesystem.LogStructuredFS`, all in
+simulated time:
+
+* Arrivals, commit windows and the background flusher are timers on the
+  shared :class:`~repro.sim.clock.SimClock` (``call_at``); the FIFO
+  guarantee for equal timestamps is what makes a run reproducible.
+* Timer callbacks never touch the file system directly — they append
+  events to a ready queue that the run loop drains one event at a
+  time.  An event may advance the clock (CPU work, synchronous I/O);
+  any timers that expire meanwhile simply enqueue more events, so file
+  system operations are never re-entered.  This models a single-server
+  system: requests that become ready while another is being serviced
+  run late, and that queueing delay is charged to their latency
+  (``arrival`` is the scheduled instant, not the execution instant).
+* ``fsync`` requests are handed to the :class:`~repro.service.
+  committer.GroupCommitter`; everything else completes synchronously.
+* Every request passes the :class:`~repro.service.admission.
+  AdmissionController` first — rejected requests retry after a
+  backoff, throttled writers pay for a cleaning pass.
+
+Each client owns a private directory (``/cN``) and a bounded working
+set of files, so streams never conflict on paths and a run's on-disk
+image is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.errors import NoSpaceError
+from repro.lfs.filesystem import LogStructuredFS
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.registry import DEFAULT_TIME_BUCKETS
+from repro.service.admission import AdmissionController, Decision
+from repro.service.committer import GroupCommitter
+from repro.service.config import ServiceConfig
+from repro.service.stats import REQUEST_KINDS, ServiceStats
+from repro.units import MIB
+
+MAX_FILE_BYTES = 1 * MIB
+"""Appends wrap to offset 0 past this size, bounding working files."""
+
+
+class Request:
+    """One client request travelling through admission → execution."""
+
+    __slots__ = ("client_id", "kind", "arrival", "throttles")
+
+    def __init__(self, client_id: int, kind: str, arrival: float) -> None:
+        self.client_id = client_id
+        self.kind = kind
+        self.arrival = arrival
+        self.throttles = 0
+
+
+class ClientStream:
+    """A deterministic request stream with a private working set."""
+
+    def __init__(self, client_id: int, config: ServiceConfig) -> None:
+        self.client_id = client_id
+        self.config = config
+        self.rng = random.Random((config.seed << 16) ^ (client_id * 0x9E37))
+        self.directory = f"/c{client_id}"
+        self.files: List[str] = []
+        self.last_written: Optional[str] = None
+        self.name_counter = 0
+        self.issued = 0
+        self.completed = 0
+        self._kinds = list(config.mix.keys())
+        self._weights = [config.mix[kind] for kind in self._kinds]
+
+    def think(self) -> float:
+        return self.rng.expovariate(1.0 / self.config.think_mean)
+
+    def next_kind(self) -> str:
+        kind = self.rng.choices(self._kinds, weights=self._weights)[0]
+        # Degrade gracefully while the working set is tiny: everything
+        # that needs an existing file becomes a write.
+        if kind == "delete" and (
+            len(self.files) <= self.config.min_files_per_client
+        ):
+            return "write"
+        if kind in ("read", "open") and not self.files:
+            return "write"
+        if kind == "fsync" and self.last_written is None:
+            return "write"
+        return kind
+
+    def new_path(self) -> str:
+        self.name_counter += 1
+        return f"{self.directory}/f{self.name_counter}"
+
+    def pick_file(self) -> str:
+        return self.rng.choice(self.files)
+
+    def write_payload(self) -> bytes:
+        lo, hi = self.config.write_min_bytes, self.config.write_max_bytes
+        if hi > lo:
+            # Log-uniform across the band, like real file-size mixes.
+            size = int(
+                math.exp(
+                    self.rng.uniform(math.log(lo), math.log(hi))
+                )
+            )
+            size = max(lo, min(hi, size))
+        else:
+            size = lo
+        fill = (self.client_id * 31 + self.issued) % 256
+        return bytes([fill]) * size
+
+
+class RequestScheduler:
+    """Runs N client streams to completion over one file system."""
+
+    def __init__(
+        self,
+        fs: LogStructuredFS,
+        config: ServiceConfig,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.fs = fs
+        self.clock = fs.clock
+        self.config = config
+        self.stats = ServiceStats()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.admission = AdmissionController(
+            fs, config, self.stats, telemetry=self.telemetry
+        )
+        self.committer = GroupCommitter(
+            fs, config, self.stats, self._enqueue, telemetry=self.telemetry
+        )
+        self.clients = [
+            ClientStream(i, config) for i in range(config.num_clients)
+        ]
+        for client in self.clients:
+            fs.mkdir(client.directory)
+        self._ready: Deque[Callable[[], None]] = deque()
+        self._active_clients = config.num_clients
+        obs = self.telemetry
+        self._m_requests = {
+            kind: obs.counter("service.requests", kind=kind)
+            for kind in REQUEST_KINDS
+        }
+        self._m_completed = obs.counter("service.completed")
+        self._m_no_space = obs.counter("service.no_space_failures")
+        self._h_latency = {
+            kind: obs.histogram(
+                "service.latency_seconds",
+                buckets=DEFAULT_TIME_BUCKETS,
+                kind=kind,
+            )
+            for kind in REQUEST_KINDS
+        }
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, event: Callable[[], None]) -> None:
+        self._ready.append(event)
+
+    def _post_at(self, t: float, event: Callable[[], None]) -> None:
+        """Schedule ``event`` to join the ready queue at time ``t``."""
+        self.clock.call_at(t, lambda: self._ready.append(event))
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> ServiceStats:
+        self.stats.started = self.clock.now()
+        with self.telemetry.span(
+            "service.run", clients=self.config.num_clients
+        ) as span:
+            for client in self.clients:
+                self._post_at(
+                    self.clock.now() + client.think(),
+                    lambda client=client: self._tick(client),
+                )
+            self._post_at(
+                self.clock.now() + self.config.flusher_period,
+                self._background_flush,
+            )
+            while self._ready or self.clock.pending_timers():
+                if self._ready:
+                    self._ready.popleft()()
+                    continue
+                next_at = self.clock.next_timer_at()
+                assert next_at is not None
+                self.clock.advance_to(next_at)
+            span.set_attr("completed", self.stats.completed)
+        self.stats.finished = self.clock.now()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Client lifecycle
+    # ------------------------------------------------------------------
+
+    def _tick(self, client: ClientStream) -> None:
+        kind = client.next_kind()
+        client.issued += 1
+        request = Request(client.client_id, kind, self.clock.now())
+        self.stats.note_submitted(kind)
+        self._m_requests[kind].inc()
+        self._submit(request)
+
+    def _submit(self, request: Request) -> None:
+        decision = self.admission.try_admit(request.kind, request.throttles)
+        if decision is Decision.REJECT:
+            # Bounded queue is full: retry after a backoff.  The
+            # arrival timestamp is preserved, so the wait shows up in
+            # this request's latency, not in a dropped-request count.
+            self._post_at(
+                self.clock.now() + self.config.retry_backoff,
+                lambda: self._submit(request),
+            )
+            return
+        if decision is Decision.THROTTLE:
+            request.throttles += 1
+            self.admission.pay_throttle()  # advances simulated time
+            self._enqueue(lambda: self._submit(request))
+            return
+        self._execute(request)
+
+    def _client(self, request: Request) -> ClientStream:
+        return self.clients[request.client_id]
+
+    def _execute(self, request: Request) -> None:
+        client = self._client(request)
+        try:
+            if request.kind == "fsync":
+                handle = self.fs.open(client.last_written)
+                self.committer.request_commit(
+                    handle,
+                    lambda: self._finish_fsync(request, handle),
+                )
+                return  # completes when the commit window closes
+            if request.kind == "write":
+                self._do_write(client)
+            elif request.kind == "read":
+                with self.fs.open(client.pick_file()) as handle:
+                    handle.read()
+            elif request.kind == "open":
+                self.fs.open(client.pick_file()).close()
+            elif request.kind == "delete":
+                path = client.pick_file()
+                self.fs.unlink(path)
+                client.files.remove(path)
+                if client.last_written == path:
+                    client.last_written = None
+        except NoSpaceError:
+            # A force-admitted write on a disk cleaning cannot help.
+            # The request fails rather than wedging the run; the image
+            # stays consistent (the failed flush left cache state
+            # intact) and the failure is visible in the report.
+            self.stats.dropped += 1
+            self._m_no_space.inc()
+        self._complete(request)
+
+    def _do_write(self, client: ClientStream) -> None:
+        data = client.write_payload()
+        create = len(client.files) < self.config.min_files_per_client or (
+            len(client.files) < self.config.max_files_per_client
+            and client.rng.random() < 0.25
+        )
+        if create:
+            path = client.new_path()
+            with self.fs.create(path) as handle:
+                handle.write(data)
+            client.files.append(path)
+        else:
+            path = client.pick_file()
+            with self.fs.open(path) as handle:
+                offset = handle.size
+                if offset + len(data) > MAX_FILE_BYTES:
+                    offset = 0
+                handle.pwrite(offset, data)
+        client.last_written = path
+
+    def _finish_fsync(self, request: Request, handle) -> None:
+        handle.close()
+        self._complete(request)
+
+    def _complete(self, request: Request) -> None:
+        self.admission.release()
+        client = self._client(request)
+        client.completed += 1
+        latency = self.clock.now() - request.arrival
+        self.stats.note_completed(request.kind, latency)
+        self._m_completed.inc()
+        self._h_latency[request.kind].observe(latency)
+        if client.issued < self.config.requests_per_client:
+            self._post_at(
+                self.clock.now() + client.think(),
+                lambda: self._tick(client),
+            )
+        else:
+            self._active_clients -= 1
+
+    # ------------------------------------------------------------------
+    # Background flusher (the age trigger, §4.3.5's 30-second rule)
+    # ------------------------------------------------------------------
+
+    def _background_flush(self) -> None:
+        """Flush dirty blocks past their age threshold.
+
+        Clients only drive write-back through the cache-full trigger
+        and fsync; this periodic event services the age trigger via
+        :meth:`~repro.cache.writeback.WritebackMonitor.
+        next_age_deadline`, like the kernel's delayed-write flusher.
+        It stops rescheduling once every client has finished, which is
+        what lets the run loop terminate.
+        """
+        deadline = self.fs.monitor.next_age_deadline()
+        if deadline is not None and deadline <= self.clock.now():
+            from repro.cache.writeback import WritebackReason
+
+            self.fs.monitor.note_explicit(WritebackReason.AGE)
+            self.fs.flush_log()
+            self.stats.background_flushes += 1
+        if self._active_clients > 0:
+            self._post_at(
+                self.clock.now() + self.config.flusher_period,
+                self._background_flush,
+            )
+
+
+# ----------------------------------------------------------------------
+# High-level entry points
+# ----------------------------------------------------------------------
+
+
+def serviceable_bytes(fs: LogStructuredFS) -> int:
+    """Capacity the service can fill while leaving the cleaner room:
+    everything beyond the writer's hard reserve and the clean-segment
+    low water."""
+    headroom = (
+        fs.segments.reserve_segments + fs.config.clean_low_water
+    )
+    segments = max(0, fs.layout.num_segments - headroom)
+    return segments * fs.config.segment_size
+
+
+def prefill(
+    fs: LogStructuredFS, config: ServiceConfig
+) -> int:
+    """Load the log to ``fill_fraction`` of serviceable capacity.
+
+    Files are written through the normal write path (so the log wraps
+    and cleans exactly as it would in production) and every
+    ``fragment_every``-th file is deleted, leaving the fragmented
+    segments that make cleaning — and therefore backpressure — real.
+    Returns the live bytes on the device after the fill.
+    """
+    if config.fill_fraction <= 0:
+        return fs.live_data_bytes()
+    target = int(config.fill_fraction * serviceable_bytes(fs))
+    chunk = 64 * fs.config.block_size  # 256 KiB at the default 4 KiB
+    rng = random.Random(config.seed ^ 0xF111)
+    index = 0
+    while fs.live_data_bytes() < target:
+        index += 1
+        path = f"/fill{index}"
+        fill = bytes([rng.randrange(256)]) * chunk
+        fs.write_file(path, fill)
+        if config.fragment_every and index % config.fragment_every == 0:
+            fs.unlink(path)
+    fs.checkpoint()
+    return fs.live_data_bytes()
+
+
+def run_service(
+    fs: LogStructuredFS,
+    config: ServiceConfig,
+    telemetry: Optional[Telemetry] = None,
+) -> Tuple[ServiceStats, RequestScheduler]:
+    """Pre-fill (if configured) and run the full service simulation."""
+    prefill(fs, config)
+    scheduler = RequestScheduler(fs, config, telemetry=telemetry)
+    stats = scheduler.run()
+    return stats, scheduler
+
+
+def simulate_service(
+    config: ServiceConfig,
+    total_bytes: int = 64 * MIB,
+    lfs_config=None,
+    telemetry: Optional[Telemetry] = None,
+) -> Tuple[ServiceStats, LogStructuredFS]:
+    """Build a fresh rig, serve ``config``, checkpoint, and return it.
+
+    The returned file system is still mounted (callers can inspect
+    cleaner stats or unmount and save the image); its on-disk state has
+    been checkpointed so the image verifies.
+    """
+    from repro.lfs.config import LfsConfig
+    from repro.units import KIB
+
+    if lfs_config is None:
+        lfs_config = LfsConfig(
+            segment_size=256 * KIB,
+            cache_bytes=2 * MIB,
+            max_inodes=4096,
+        )
+    from repro.lfs.filesystem import make_lfs
+
+    fs = make_lfs(
+        total_bytes=total_bytes, config=lfs_config, telemetry=telemetry
+    )
+    stats, _scheduler = run_service(fs, config, telemetry=telemetry)
+    fs.checkpoint()
+    fs.disk.drain()
+    return stats, fs

@@ -9,11 +9,19 @@ to the I/O completion time, and asynchronous disk I/O does *not* advance it
 
 This is the mechanism that lets the simulation reproduce the paper's core
 claim: a file system that never waits for the disk runs at CPU speed.
+
+Timers are a binary heap keyed by ``(expiry, insertion sequence)``.  The
+sequence number makes ordering *total*: two timers with the same expiry
+always fire in the order they were scheduled (FIFO).  The multi-client
+service layer (:mod:`repro.service`) depends on this — its request
+events are frequently scheduled for the same instant, and a run is only
+reproducible if ties break deterministically.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+import heapq
+from typing import Callable, List, Optional, Tuple
 
 
 class SimClock:
@@ -39,14 +47,15 @@ class SimClock:
     def advance_to(self, t: float) -> float:
         """Move time forward to ``t`` (no-op if ``t`` is in the past).
 
-        Any timers that expire at or before ``t`` fire in expiry order while
-        the clock sits at their expiry instant, so periodic activities (the
-        30-second checkpoint, cache age write-back) observe accurate times.
+        Any timers that expire at or before ``t`` fire in (expiry,
+        scheduling) order while the clock sits at their expiry instant,
+        so periodic activities (the 30-second checkpoint, cache age
+        write-back) observe accurate times.
         """
         if t <= self._now:
             return self._now
         while self._timers and self._timers[0][0] <= t:
-            expiry, _seq, callback = self._timers.pop(0)
+            expiry, _seq, callback = heapq.heappop(self._timers)
             self._now = max(self._now, expiry)
             callback()
         self._now = max(self._now, t)
@@ -56,17 +65,20 @@ class SimClock:
         """Schedule ``callback`` to run when the clock reaches time ``t``.
 
         Timers only fire while the clock is being advanced; they never
-        preempt running code.  A callback scheduled in the past fires on the
-        next advance.
+        preempt running code.  A callback scheduled in the past fires on
+        the next advance.  Callbacks scheduled for the same ``t`` fire
+        in FIFO order (guaranteed by the per-clock sequence number).
         """
         self._timer_seq += 1
-        entry = (float(t), self._timer_seq, callback)
-        # Keep the timer list sorted by (expiry, insertion order); the list
-        # is tiny (a handful of periodic activities) so insertion sort wins.
-        index = len(self._timers)
-        while index > 0 and self._timers[index - 1][:2] > entry[:2]:
-            index -= 1
-        self._timers.insert(index, entry)
+        heapq.heappush(self._timers, (float(t), self._timer_seq, callback))
+
+    def next_timer_at(self) -> Optional[float]:
+        """Expiry of the earliest pending timer (None when idle).
+
+        Event loops advance to this instant to fire exactly the next
+        batch of timers without overshooting simulated time.
+        """
+        return self._timers[0][0] if self._timers else None
 
     def cancel_all_timers(self) -> None:
         """Drop every pending timer (used when simulating a crash)."""

@@ -1,7 +1,8 @@
 """A dependency-free linter for the classes of defect this repo cares
 about: unused imports, write-only local variables, instrumented modules
-that bypass the telemetry registry with bare ``print``, and broad
-``except`` clauses in the crash-recovery modules (FAULT001).
+that bypass the telemetry registry with bare ``print``, broad
+``except`` clauses in the crash-recovery modules (FAULT001), and
+wall-clock calls in the simulated-time service layer (SVC001).
 
 The container this project builds in has no third-party linter, so this
 module is the fallback for ``make lint`` — when ``ruff`` is installed
@@ -237,6 +238,50 @@ def _check_recovery_broad_except(
             )
 
 
+_SERVICE_DIR = "repro/service/"
+_WALL_CLOCK_ATTRS = ("time", "sleep", "monotonic", "perf_counter")
+"""Wall-clock entry points of the ``time`` module.
+
+The service layer is simulated-time only: every delay is a timer on the
+shared :class:`~repro.sim.clock.SimClock`, which is what makes runs
+seed-deterministic and byte-identical across hosts.  One stray
+``time.time()`` in a latency calculation or ``time.sleep()`` in a
+backoff silently breaks both, so SVC001 bans them outright."""
+
+
+def _check_service_wall_clock(
+    path: str, tree: ast.Module, noqa: Set[int]
+) -> Iterator[Tuple[str, int, str]]:
+    normalized = path.replace(os.sep, "/")
+    if _SERVICE_DIR not in normalized:
+        return
+    for node in ast.walk(tree):
+        finding = None
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            banned = [
+                alias.name
+                for alias in node.names
+                if alias.name in _WALL_CLOCK_ATTRS or alias.name == "*"
+            ]
+            if banned:
+                finding = f"`from time import {', '.join(banned)}`"
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "time"
+            and node.func.attr in _WALL_CLOCK_ATTRS
+        ):
+            finding = f"`time.{node.func.attr}()`"
+        if finding and node.lineno not in noqa:
+            yield (
+                path,
+                node.lineno,
+                f"SVC001 {finding} in the service layer; the service "
+                "runs on simulated time only (SimClock.call_at)",
+            )
+
+
 def lint_file(path: str) -> List[Tuple[str, int, str]]:
     with open(path, encoding="utf-8") as handle:
         source = handle.read()
@@ -249,6 +294,7 @@ def lint_file(path: str) -> List[Tuple[str, int, str]]:
     findings.extend(_check_unused_locals(path, tree, noqa))
     findings.extend(_check_obs_print_bypass(path, tree, noqa))
     findings.extend(_check_recovery_broad_except(path, tree, noqa))
+    findings.extend(_check_service_wall_clock(path, tree, noqa))
     return findings
 
 

@@ -90,3 +90,94 @@ class TestTriggers:
         monitor.note_explicit(WritebackReason.SYNC)
         assert monitor.triggers[WritebackReason.AGE] == 1
         assert monitor.triggers[WritebackReason.SYNC] == 1
+
+
+class TestNextAgeDeadline:
+    def test_none_while_clean(self, cache, clock):
+        monitor = WritebackMonitor(cache, clock)
+        assert monitor.next_age_deadline() is None
+
+    def test_tracks_oldest_dirty_block(self, cache, clock):
+        monitor = WritebackMonitor(
+            cache, clock, WritebackConfig(age_threshold=30.0)
+        )
+        clock.advance(5.0)
+        cache.insert(key(0), bytearray(BS), dirty=True, now=clock.now())
+        clock.advance(10.0)
+        cache.insert(key(1), bytearray(BS), dirty=True, now=clock.now())
+        assert monitor.next_age_deadline() == pytest.approx(35.0)
+
+    def test_deadline_advances_when_oldest_cleaned(self, cache, clock):
+        monitor = WritebackMonitor(
+            cache, clock, WritebackConfig(age_threshold=30.0)
+        )
+        cache.insert(key(0), bytearray(BS), dirty=True, now=clock.now())
+        clock.advance(10.0)
+        cache.insert(key(1), bytearray(BS), dirty=True, now=clock.now())
+        cache.mark_clean(key(0))
+        assert monitor.next_age_deadline() == pytest.approx(40.0)
+
+
+class TestExplicitFlushResetsTriggerState:
+    """Satellite coverage: note_explicit + the flush it announces must
+    leave the monitor quiescent — both the dirty-bytes threshold and
+    the age clock restart from the post-flush dirty set."""
+
+    def _dirty_to_threshold(self, cache, clock):
+        for i in range(4):
+            cache.insert(key(i), bytearray(BS), dirty=True, now=clock.now())
+
+    def _explicit_flush(self, monitor, cache):
+        """What fsync/sync do: note the trigger, then flush everything."""
+        monitor.note_explicit(WritebackReason.SYNC)
+        for block in list(cache.dirty_blocks()):
+            cache.mark_clean(block.key)
+
+    def test_threshold_trigger_resets_after_explicit_flush(
+        self, cache, clock
+    ):
+        monitor = WritebackMonitor(
+            cache, clock, WritebackConfig(dirty_high_fraction=0.5)
+        )
+        self._dirty_to_threshold(cache, clock)
+        assert monitor.check() is WritebackReason.CACHE_FULL
+        self._explicit_flush(monitor, cache)
+        assert monitor.check() is None
+        assert monitor.triggers[WritebackReason.SYNC] == 1
+        # Re-dirtying must be able to re-arm the threshold trigger.
+        self._dirty_to_threshold(cache, clock)
+        assert monitor.check() is WritebackReason.CACHE_FULL
+        assert monitor.triggers[WritebackReason.CACHE_FULL] == 2
+
+    def test_age_clock_restarts_after_explicit_flush(self, cache, clock):
+        monitor = WritebackMonitor(
+            cache, clock, WritebackConfig(age_threshold=30.0)
+        )
+        cache.insert(key(0), bytearray(BS), dirty=True, now=clock.now())
+        clock.advance(31.0)
+        assert monitor.check() is WritebackReason.AGE
+        self._explicit_flush(monitor, cache)
+        assert monitor.check() is None
+        assert monitor.next_age_deadline() is None
+        # A block dirtied after the flush gets a fresh 30 s budget
+        # measured from *its* dirty time, not the pre-flush epoch.
+        cache.insert(key(1), bytearray(BS), dirty=True, now=clock.now())
+        assert monitor.next_age_deadline() == pytest.approx(
+            clock.now() + 30.0
+        )
+        clock.advance(29.0)
+        assert monitor.check() is None
+        clock.advance(2.0)
+        assert monitor.check() is WritebackReason.AGE
+
+    def test_explicit_flush_via_real_lfs_fsync(self):
+        from repro import make_lfs
+
+        fs = make_lfs(total_bytes=16 * 1024 * 1024)
+        with fs.create("/f") as handle:
+            handle.write(b"x" * BS)
+            assert fs.monitor.next_age_deadline() is not None
+            handle.fsync()
+        assert fs.monitor.next_age_deadline() is None
+        assert fs.monitor.check() is None
+        assert fs.monitor.triggers[WritebackReason.SYNC] >= 1

@@ -152,3 +152,79 @@ class TestCleaning:
         fill_and_fragment(lfs, rounds=4)
         lfs.clean_now(lfs.layout.num_segments)
         assert lfs.usage.underflow_clamps == 0
+
+
+class TestCleanerObservability:
+    """The backpressure inputs: clean_reserve and per-policy victims."""
+
+    def _telemetry_lfs(self):
+        from repro import make_lfs
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        fs = make_lfs(total_bytes=24 * 1024 * 1024, telemetry=telemetry)
+        return fs, telemetry
+
+    def test_clean_reserve_counts_beyond_hard_reserve(self, lfs):
+        expected = (
+            lfs.usage.clean_count() - lfs.segments.reserve_segments
+        )
+        assert lfs.cleaner.clean_reserve() == expected
+
+    def test_clean_reserve_drops_as_log_fills(self, lfs):
+        before = lfs.cleaner.clean_reserve()
+        for i in range(200):
+            lfs.write_file(f"/r{i}", b"r" * 4096)
+        lfs.sync()
+        assert lfs.cleaner.clean_reserve() < before
+
+    def test_clean_reserve_gauge_published(self):
+        fs, telemetry = self._telemetry_lfs()
+        reserve = fs.cleaner.clean_reserve()
+        assert telemetry.registry.value("cleaner.clean_reserve") == reserve
+
+    def test_victims_counter_labelled_by_policy(self):
+        fs, telemetry = self._telemetry_lfs()
+        fill_and_fragment(fs)
+        cleaned = fs.clean_now(fs.layout.num_segments)
+        assert cleaned > 0
+        victims = telemetry.registry.value(
+            "cleaner.victims", policy="greedy"
+        )
+        assert victims >= cleaned - fs.cleaner.stats.empty_segments_skipped
+        # Unused policies exist as zero series, so `repro stats` always
+        # shows the full breakdown.
+        assert (
+            telemetry.registry.value("cleaner.victims", policy="random")
+            == 0
+        )
+
+
+class TestFsyncMany:
+    def test_batched_fsync_flushes_once(self, lfs):
+        handles = []
+        for i in range(8):
+            handle = lfs.create(f"/batch{i}")
+            handle.write(b"b" * 4096)
+            handles.append(handle)
+        flushes_before = lfs.segments.log_bytes_written
+        lfs.fsync_many(handles)
+        assert lfs.cache.dirty_bytes == 0
+        assert lfs.segments.log_bytes_written > flushes_before
+        # One explicit SYNC trigger for the whole batch, not eight.
+        from repro.cache.writeback import WritebackReason
+
+        assert lfs.monitor.triggers[WritebackReason.SYNC] == 1
+        for handle in handles:
+            handle.close()
+
+    def test_empty_batch_is_a_noop(self, lfs):
+        written = lfs.segments.log_bytes_written
+        lfs.fsync_many([])
+        assert lfs.segments.log_bytes_written == written
+
+    def test_single_fsync_delegates_to_batch_path(self, lfs):
+        with lfs.create("/solo") as handle:
+            handle.write(b"s" * 4096)
+            handle.fsync()
+        assert lfs.cache.dirty_bytes == 0

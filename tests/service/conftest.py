@@ -1,0 +1,28 @@
+"""Service-test fixtures: telemetry-wired small file systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.geometry import wren_iv
+from repro.disk.sim_disk import SimDisk
+from repro.lfs.filesystem import LogStructuredFS
+from repro.sim.clock import SimClock
+from repro.sim.cpu import CpuModel
+
+from tests.conftest import SMALL_DEVICE, small_lfs_config
+
+
+@pytest.fixture
+def lfs_factory():
+    """Build a fresh small LFS whose whole stack shares one telemetry."""
+
+    def build(telemetry=None) -> LogStructuredFS:
+        clock = SimClock()
+        cpu = CpuModel(clock)
+        disk = SimDisk(wren_iv(SMALL_DEVICE), clock, telemetry=telemetry)
+        return LogStructuredFS.mkfs(
+            disk, cpu, small_lfs_config(), telemetry=telemetry
+        )
+
+    return build

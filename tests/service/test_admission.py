@@ -1,0 +1,109 @@
+"""Unit tests for the admission controller's two gates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.service.admission import AdmissionController, Decision, WRITE_CLASS
+from repro.service.config import ServiceConfig
+from repro.service.stats import ServiceStats
+
+
+@pytest.fixture
+def config() -> ServiceConfig:
+    return ServiceConfig(num_clients=2, admission_capacity=4)
+
+
+@pytest.fixture
+def controller(lfs, config) -> AdmissionController:
+    return AdmissionController(lfs, config, ServiceStats())
+
+
+class TestBoundedQueue:
+    def test_admits_until_capacity(self, controller):
+        for _ in range(4):
+            assert controller.try_admit("read") is Decision.ADMIT
+        assert controller.in_flight == 4
+
+    def test_rejects_at_capacity(self, controller):
+        for _ in range(4):
+            controller.try_admit("read")
+        assert controller.try_admit("read") is Decision.REJECT
+        assert controller.stats.rejections == 1
+
+    def test_release_reopens_the_queue(self, controller):
+        for _ in range(4):
+            controller.try_admit("read")
+        controller.release()
+        assert controller.try_admit("read") is Decision.ADMIT
+
+    def test_release_without_admit_raises(self, controller):
+        with pytest.raises(RuntimeError):
+            controller.release()
+
+    def test_effective_capacity_scales_with_clients(self, lfs):
+        config = ServiceConfig(num_clients=16)
+        controller = AdmissionController(lfs, config, ServiceStats())
+        assert controller.capacity == 64
+
+
+class TestReserveWatermark:
+    def test_fresh_fs_is_not_low(self, controller):
+        # A fresh disk is nearly all clean segments.
+        assert not controller.reserve_low()
+
+    def test_watermark_sits_above_the_low_water_floor(self, lfs, config):
+        controller = AdmissionController(lfs, config, ServiceStats())
+        assert controller.watermark == (
+            config.reserve_watermark + lfs.config.clean_low_water
+        )
+
+    def test_write_class_covers_log_consumers(self):
+        assert WRITE_CLASS == {"write", "fsync", "delete"}
+
+    def test_reads_never_throttle(self, lfs, config):
+        controller = AdmissionController(lfs, config, ServiceStats())
+        controller.watermark = 10**9  # force "low" for any real fs
+        assert controller.reserve_low()
+        assert controller.try_admit("read") is Decision.ADMIT
+        assert controller.try_admit("open") is Decision.ADMIT
+
+    def test_writes_throttle_when_low(self, lfs, config):
+        controller = AdmissionController(lfs, config, ServiceStats())
+        controller.watermark = 10**9
+        assert controller.try_admit("write") is Decision.THROTTLE
+        assert controller.in_flight == 0
+
+    def test_forced_admission_after_max_retries(self, lfs, config):
+        controller = AdmissionController(lfs, config, ServiceStats())
+        controller.watermark = 10**9
+        retries = config.max_throttle_retries
+        assert controller.try_admit("write", retries - 1) is Decision.THROTTLE
+        assert controller.try_admit("write", retries) is Decision.ADMIT
+        assert controller.stats.forced_admissions == 1
+
+
+class TestPayThrottle:
+    def test_throttle_advances_simulated_time(self, lfs, config):
+        # Fill enough that a cleaning pass has segments to work on.
+        for i in range(40):
+            lfs.write_file(f"/f{i}", bytes([i % 256]) * (128 * 1024))
+            if i % 3 == 0:
+                lfs.unlink(f"/f{i}")
+        lfs.flush_log()
+        controller = AdmissionController(lfs, config, ServiceStats())
+        before = lfs.clock.now()
+        stalled = controller.pay_throttle()
+        assert lfs.clock.now() >= before
+        assert stalled == lfs.clock.now() - before
+        assert controller.stats.throttle_events == 1
+        assert controller.stats.throttle_seconds == stalled
+
+    def test_throttle_metrics_published(self, lfs, config):
+        telemetry = Telemetry()
+        controller = AdmissionController(
+            lfs, config, ServiceStats(), telemetry=telemetry
+        )
+        controller.pay_throttle()
+        assert telemetry.registry.value("service.throttle_events") == 1

@@ -110,3 +110,80 @@ class TestTimers:
         clock.call_at(6.0, lambda: seen.append(clock.now()))
         clock.advance_to(8.0)
         assert seen == [3.0, 6.0]
+
+
+class TestTimerFifoOrdering:
+    """Regression: equal-timestamp timers must fire strictly FIFO.
+
+    The service layer's request scheduler routinely lands many events on
+    the same instant; runs are only reproducible if ties break by
+    scheduling order, independent of how the timer store rebalances.
+    """
+
+    def test_many_equal_timestamps_fire_in_scheduling_order(self):
+        clock = SimClock()
+        fired = []
+        for i in range(100):
+            clock.call_at(1.0, lambda i=i: fired.append(i))
+        clock.advance_to(1.0)
+        assert fired == list(range(100))
+
+    def test_interleaved_equal_and_distinct_expiries(self):
+        clock = SimClock()
+        fired = []
+        # Schedule in a deliberately scrambled order; ties at t=2.0 must
+        # still come out in scheduling order (b before d before e).
+        clock.call_at(3.0, lambda: fired.append("late"))
+        clock.call_at(2.0, lambda: fired.append("b"))
+        clock.call_at(1.0, lambda: fired.append("a"))
+        clock.call_at(2.0, lambda: fired.append("d"))
+        clock.call_at(2.0, lambda: fired.append("e"))
+        clock.advance_to(5.0)
+        assert fired == ["a", "b", "d", "e", "late"]
+
+    def test_callback_scheduling_same_instant_fires_after_existing(self):
+        clock = SimClock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            # Scheduled mid-firing for the very same instant: runs in
+            # this advance, after everything already queued for t=1.
+            clock.call_at(1.0, lambda: fired.append("nested"))
+
+        clock.call_at(1.0, first)
+        clock.call_at(1.0, lambda: fired.append("second"))
+        clock.advance_to(1.0)
+        assert fired == ["first", "second", "nested"]
+
+    def test_fifo_survives_partial_draining(self):
+        clock = SimClock()
+        fired = []
+        for i in range(10):
+            clock.call_at(float(i % 3), lambda i=i: fired.append(i))
+        clock.advance_to(0.5)  # drains only the t=0 group
+        assert fired == [0, 3, 6, 9]
+        clock.advance_to(3.0)
+        assert fired == [0, 3, 6, 9, 1, 4, 7, 2, 5, 8]
+
+
+class TestNextTimerAt:
+    def test_none_when_idle(self):
+        assert SimClock().next_timer_at() is None
+
+    def test_reports_earliest_expiry(self):
+        clock = SimClock()
+        clock.call_at(7.0, lambda: None)
+        clock.call_at(2.0, lambda: None)
+        assert clock.next_timer_at() == 2.0
+
+    def test_advancing_to_next_timer_fires_exactly_that_batch(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(2.0, lambda: fired.append("a"))
+        clock.call_at(2.0, lambda: fired.append("b"))
+        clock.call_at(4.0, lambda: fired.append("c"))
+        clock.advance_to(clock.next_timer_at())
+        assert fired == ["a", "b"]
+        assert clock.now() == 2.0
+        assert clock.next_timer_at() == 4.0

@@ -198,3 +198,44 @@ class TestErrors:
         # here we at least verify the image file itself changed.
         code, out = run_cli(["cat", image, "/persist"])
         assert code == 0
+
+
+class TestServeSim:
+    def test_serve_sim_reports_and_saves_image(self, image, tmp_path):
+        code, out = run_cli(
+            [
+                "serve-sim",
+                "--clients", "4",
+                "--seed", "5",
+                "--requests-per-client", "10",
+                "--image", image,
+            ]
+        )
+        assert code == 0
+        assert "completed, 0 dropped" in out
+        assert "group commit" in out
+
+        # The saved image is a valid, verifiable LFS.
+        code, out = run_cli(["verify", image])
+        assert code == 0
+        assert "clean" in out
+
+    def test_serve_sim_telemetry_export(self, tmp_path):
+        out_path = str(tmp_path / "svc.jsonl")
+        code, out = run_cli(
+            [
+                "serve-sim",
+                "--clients", "2",
+                "--requests-per-client", "5",
+                "--telemetry", out_path,
+            ]
+        )
+        assert code == 0
+        import json
+
+        names = set()
+        with open(out_path) as handle:
+            for line in handle:
+                names.add(json.loads(line).get("name", ""))
+        assert any(name.startswith("service.") for name in names)
+        assert "cleaner.clean_reserve" in names

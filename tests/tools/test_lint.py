@@ -129,3 +129,38 @@ class TestRepoIsClean:
             for name in ("src", "tests", "benchmarks")
         ]
         assert main(paths) == 0
+
+
+class TestServiceWallClock:
+    def test_flags_time_time_call(self, tmp_path):
+        source = "import time\n\ndef now():\n    return time.time()\n"
+        path = write_module(tmp_path, "repro/service/ext.py", source)
+        assert any("SVC001" in m for _, _, m in lint_file(path))
+
+    def test_flags_time_sleep_call(self, tmp_path):
+        source = "import time\n\ndef backoff():\n    time.sleep(0.1)\n"
+        path = write_module(tmp_path, "repro/service/ext.py", source)
+        assert any("SVC001" in m for _, _, m in lint_file(path))
+
+    def test_flags_from_time_import(self, tmp_path):
+        source = "from time import sleep\n"
+        path = write_module(tmp_path, "repro/service/ext.py", source)
+        assert any("SVC001" in m for _, _, m in lint_file(path))
+
+    def test_ignores_wall_clock_outside_service(self, tmp_path):
+        source = "import time\n\ndef now():\n    return time.time()\n"
+        path = write_module(tmp_path, "repro/harness/ext.py", source)
+        assert not any("SVC001" in m for _, _, m in lint_file(path))
+
+    def test_ignores_simulated_time_use(self, tmp_path):
+        source = (
+            "def schedule(clock, fn):\n"
+            "    clock.call_at(clock.now() + 1.0, fn)\n"
+        )
+        path = write_module(tmp_path, "repro/service/ok.py", source)
+        assert not any("SVC001" in m for _, _, m in lint_file(path))
+
+    def test_noqa_suppresses_the_finding(self, tmp_path):
+        source = "import time\n\nboot = time.time()  # noqa\n"
+        path = write_module(tmp_path, "repro/service/ext.py", source)
+        assert not any("SVC001" in m for _, _, m in lint_file(path))
