@@ -15,17 +15,21 @@ lint:
 		$(PYTHON) -m repro.tools.lint src tests benchmarks; \
 	fi
 
-# Smoke sizes are too small for the full 2x cleaning-speedup gate (the
-# O(n) terms barely register at 256 segments); 1.0 still catches the
-# optimized paths ever being slower than the legacy ones.  The smoke
-# run also asserts telemetry-on produces identical simulated results;
-# the 3% telemetry-disabled-vs-baseline gate needs the committed
-# BENCH_hotpaths.json scale, so only `make bench` exercises it (the
-# smoke run records a scale-mismatch skip note instead of flaking).
+# Smoke sizes are too small for the full 2x cleaning / 1.2x seq_read
+# speedup gates (the O(n) terms barely register at 256 segments); 1.0
+# still catches the optimized paths ever being slower than the legacy
+# ones.  The smoke run also asserts telemetry-on produces identical
+# simulated results; the 3% telemetry-disabled-vs-baseline gate needs
+# the committed BENCH_hotpaths.json scale, so only `make bench`
+# exercises it (the smoke run records a scale-mismatch skip note
+# instead of flaking).
 bench-smoke:
 	$(PYTHON) benchmarks/perf_harness.py --smoke --strict \
-		--min-cleaning-speedup 1.0 --output /tmp/BENCH_smoke.json
+		--min-cleaning-speedup 1.0 --min-seq-read-speedup 1.0 \
+		--output /tmp/BENCH_smoke.json
 
+# Full gates: >=2x cleaning, >=1.2x seq_read, and no workload more
+# than 3% slower than the committed BENCH_hotpaths.json baseline.
 bench:
 	$(PYTHON) benchmarks/perf_harness.py --scale small --strict
 

@@ -7,16 +7,27 @@ the paper's metrics.  This harness times the **simulator itself**
 
 * ``small_file`` — the Figure 3 create/read/delete cycle;
 * ``large_file_random_write`` — the Figure 4 random-write phase;
+* ``seq_read`` — sequential reread of a large file through a cache
+  smaller than the file, with readahead enabled (the zero-copy read
+  path plus the sequential-prefetch pipeline);
+* ``seq_reread_random_write`` — random overwrites followed by a
+  sequential reread (write path and read path in one workload);
 * ``cleaning`` — a cleaning-heavy pass over a fragmented log (the
   workload that hammers ``_pop_clean``, ``clean_count`` and the
   checkpoint serialization paths).
 
 For each workload it can also re-run the *legacy* hot paths — the
 pre-optimization implementations (O(num_segments) usage-array scans,
-O(pending) durability-list rebuilds, Packer-per-field serialization)
-patched back over the optimized classes — giving an honest before/after
-comparison on the same machine, and it asserts the two modes produce
-bit-identical simulated results.
+O(pending) durability-list rebuilds, Packer-per-field serialization,
+copy-semantics device reads, ``b"".join`` partial-segment assembly,
+O(cache) eviction scans, no readahead) patched back over the optimized
+classes — giving an honest
+before/after comparison on the same machine, and it asserts the two
+modes produce bit-identical simulated results.  The read workloads'
+fingerprints cover the data actually read (a running CRC) and the log
+bytes written, not simulated seconds: readahead legitimately reschedules
+read I/O, so the before/after invariant there is "same bytes, same
+on-disk log", not "same clock".
 
 Operation-count probes assert the O(1) invariants directly:
 
@@ -61,12 +72,16 @@ if not any(
 ):
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
+from repro.cache.block_cache import BlockCache
+from repro.cache.readahead import ReadaheadPolicy
 from repro.cache.writeback import WritebackConfig
 from repro.common.serialization import Packer, Unpacker, checksum
 from repro.disk.device import SectorDevice, _PendingWrite
-from repro.errors import CorruptionError
+from repro.errors import CleanerError, CorruptionError
+from repro.lfs.cleaner import SegmentCleaner
 from repro.lfs.config import SUMMARY_MAGIC, LfsConfig
 from repro.lfs.filesystem import LogStructuredFS, make_lfs
+from repro.lfs.segments import SegmentManager
 from repro.lfs.inode_map import IMAP_ENTRY_SIZE, ImapEntry, InodeMap
 from repro.lfs.segment_usage import (
     USAGE_ENTRY_SIZE,
@@ -378,6 +393,114 @@ def _legacy_peek_summary_blocks(first_block, block_size):
     return nsummary
 
 
+def _legacy_device_read(self, sector, count, *, copy=False):
+    # Copy semantics: every read materializes a fresh bytes object, the
+    # pre-zero-copy behaviour.  ``copy`` is accepted (callers pass it)
+    # but irrelevant — everything is a copy here.
+    self._check_range(sector, count)
+    self.total_sectors_read += count
+    start = sector * self.sector_size
+    return bytes(self._data[start : start + count * self.sector_size])
+
+
+def _legacy_write_partial(self, chunk, nsummary):
+    # The pre-pool segment writer: serialize every block to its own
+    # bytes object and b"".join the partial segment together.
+    bs = self.layout.config.block_size
+    pos = self.position
+    now = self.clock.now()
+    first_block = (
+        self.layout.segment_first_block(pos.active_segment)
+        + pos.active_offset
+    )
+    content_start = first_block + nsummary
+    for offset, planned in enumerate(chunk):
+        planned.finalize(content_start + offset)
+    summary = SegmentSummary(
+        seq=pos.sequence,
+        timestamp=now,
+        next_segment_block=self.layout.segment_first_block(pos.next_segment),
+        entries=[planned.entry for planned in chunk],
+    )
+    parts = [summary.pack(bs)]
+    for planned in chunk:
+        payload = planned.payload()
+        if len(payload) != bs:
+            raise CleanerError(
+                f"planned block serialized to {len(payload)} "
+                f"bytes, expected {bs}"
+            )
+        parts.append(payload)
+    data = b"".join(parts)
+    if len(data) != (nsummary + len(chunk)) * bs:
+        raise AssertionError("partial segment size mismatch")
+    label = (
+        f"segment:{pos.active_segment}"
+        f"+{pos.active_offset} seq={pos.sequence}"
+        + (" (cleaner)" if self.cleaner_mode else "")
+    )
+    self.disk.write(
+        first_block * self.layout.config.sectors_per_block,
+        data,
+        sync=False,
+        label=label,
+    )
+    pos.active_offset += nsummary + len(chunk)
+    pos.sequence += 1
+    self.partial_segments_written += 1
+    self.log_bytes_written += len(data)
+    if self.cleaner_mode:
+        self.cleaner_bytes_written += len(data)
+    if self.remaining_blocks() < 2:
+        self._advance_segment()
+    return len(data)
+
+
+def _legacy_relocate_live_blocks(self, seg):
+    # Pre-pool cleaner: each victim segment read materializes a fresh
+    # segment-sized bytes object (the legacy device read above already
+    # copies; this path just skips the staging pool entirely).
+    fs = self.fs
+    layout = fs.layout
+    bps = fs.config.blocks_per_segment
+    if fs.usage.info(seg).state is not SegmentState.DIRTY:
+        raise CorruptionError(f"cleaning non-dirty segment {seg}")
+    first_block = layout.segment_first_block(seg)
+    with self.telemetry.span("cleaner.relocate_segment", segment=seg) as span:
+        raw = bytes(
+            fs.disk.read(
+                first_block * fs.config.sectors_per_block,
+                bps * fs.config.sectors_per_block,
+                label=f"cleaner segment {seg}",
+            )
+        )
+        self._scan_segment(seg, first_block, raw, span)
+
+
+def _legacy_readahead_advise(self, inum, first, last):
+    # Before this PR there was no readahead: never prefetch.
+    return 0
+
+
+def _legacy_cache_evict_to_capacity(self):
+    # Pre-optimization eviction: materialize the full evictable-victim
+    # list (an O(cache) scan) on every over-capacity insert, then evict
+    # from the front until back under capacity.
+    if self.used_bytes <= self.capacity_bytes:
+        return
+    victims = [
+        key for key, block in self._blocks.items() if self._evictable(block)
+    ]
+    for key in victims:
+        if self.used_bytes <= self.capacity_bytes:
+            break
+        del self._blocks[key]
+        self._forget_key(key)
+        self.stats.evictions += 1
+        if self._obs_enabled:
+            self._m_evictions.inc()
+
+
 def _legacy_device_write(self, sector, data, completion_time=0.0, durable=False):
     if len(data) % self.sector_size:
         raise CorruptionError(
@@ -428,8 +551,13 @@ def _legacy_patches():
             "peek_summary_blocks",
             staticmethod(_legacy_peek_summary_blocks),
         ),
+        (SectorDevice, "read", _legacy_device_read),
         (SectorDevice, "write", _legacy_device_write),
         (SectorDevice, "mark_durable", _legacy_device_mark_durable),
+        (SegmentManager, "_write_partial", _legacy_write_partial),
+        (SegmentCleaner, "_relocate_live_blocks", _legacy_relocate_live_blocks),
+        (ReadaheadPolicy, "advise", _legacy_readahead_advise),
+        (BlockCache, "_evict_to_capacity", _legacy_cache_evict_to_capacity),
     ]
 
 
@@ -519,6 +647,118 @@ def wl_large_file_random_write(
     return wall, n_requests, simulated, fingerprint
 
 
+def _readahead_config(scale: Scale) -> LfsConfig:
+    """Config for the read workloads: readahead on, cache smaller than
+    the file so sequential rereads actually hit the disk."""
+    config = scale.lfs_config()
+    cache = max(256 * KIB, min(config.cache_bytes, scale.large_file_bytes // 4))
+    return LfsConfig(
+        segment_size=config.segment_size,
+        cache_bytes=cache,
+        max_inodes=config.max_inodes,
+        writeback=config.writeback,
+        readahead_blocks=16,
+    )
+
+
+def _write_stream_file(fs: LogStructuredFS, scale: Scale, chunk: int):
+    """Untimed setup: lay down ``large_file_bytes`` of per-chunk-tagged
+    data sequentially (so a content CRC verifies read ordering)."""
+    nchunks = scale.large_file_bytes // chunk
+    handle = fs.create("/stream")
+    for index in range(nchunks):
+        payload = index.to_bytes(4, "little") * (chunk // 4)
+        handle.pwrite(index * chunk, payload)
+    fs.sync()
+    return handle, nchunks
+
+
+def _check_readahead(fs: LogStructuredFS) -> None:
+    stats = fs.readahead.stats
+    if stats.blocks_prefetched:
+        assert stats.hits > 0, "readahead prefetched but never hit"
+
+
+def wl_seq_read(
+    scale: Scale, telemetry: Optional[Telemetry] = None
+) -> Tuple[float, int, float, Dict[str, Any]]:
+    import zlib
+
+    fs = make_lfs(
+        total_bytes=scale.disk_bytes,
+        config=_readahead_config(scale),
+        telemetry=telemetry,
+    )
+    chunk = 16 * fs.config.block_size
+    handle, nchunks = _write_stream_file(fs, scale, chunk)
+    crc = 0
+    bytes_read = 0
+    ops = 0
+    sim_start = fs.clock.now()
+    wall_start = time.perf_counter()
+    for _ in range(2):  # two passes: the cache cannot hold the file
+        for index in range(nchunks):
+            data = handle.pread(index * chunk, chunk)
+            crc = zlib.crc32(data, crc)
+            bytes_read += len(data)
+            ops += 1
+    wall = time.perf_counter() - wall_start
+    simulated = fs.clock.now() - sim_start
+    handle.close()
+    _check_readahead(fs)
+    # No simulated seconds here: readahead reschedules read I/O, so the
+    # leg invariant is the data itself plus the on-disk log.
+    fingerprint = {
+        "bytes_read": bytes_read,
+        "data_crc32": crc,
+        "log_bytes_written": fs.segments.log_bytes_written,
+    }
+    return wall, ops, simulated, fingerprint
+
+
+def wl_seq_reread_random_write(
+    scale: Scale, telemetry: Optional[Telemetry] = None
+) -> Tuple[float, int, float, Dict[str, Any]]:
+    import random
+    import zlib
+
+    fs = make_lfs(
+        total_bytes=scale.disk_bytes,
+        config=_readahead_config(scale),
+        telemetry=telemetry,
+    )
+    chunk = 16 * fs.config.block_size
+    handle, nchunks = _write_stream_file(fs, scale, chunk)
+    request = scale.large_request_bytes
+    n_requests = scale.large_file_bytes // request
+    payload = b"\xa5" * request
+    rng = random.Random(0x5EC_0DE)
+    offsets = [
+        rng.randrange(n_requests) * request for _ in range(n_requests // 2)
+    ]
+    crc = 0
+    bytes_read = 0
+    sim_start = fs.clock.now()
+    wall_start = time.perf_counter()
+    for offset in offsets:  # random overwrites (the pooled write path)
+        handle.pwrite(offset, payload)
+    fs.sync()
+    for index in range(nchunks):  # sequential reread (readahead path)
+        data = handle.pread(index * chunk, chunk)
+        crc = zlib.crc32(data, crc)
+        bytes_read += len(data)
+    wall = time.perf_counter() - wall_start
+    simulated = fs.clock.now() - sim_start
+    handle.close()
+    _check_readahead(fs)
+    fingerprint = {
+        "bytes_read": bytes_read,
+        "data_crc32": crc,
+        "log_bytes_written": fs.segments.log_bytes_written,
+    }
+    return wall, len(offsets) + nchunks, simulated, fingerprint
+
+
 def _fragment_log(fs: LogStructuredFS, scale: Scale) -> int:
     """Fragment ``clean_fill_segments`` segments: interleave one batch of
     keeper blocks with a batch of churn blocks per segment (syncing each
@@ -573,6 +813,8 @@ def wl_cleaning(
 WORKLOADS: Dict[str, Callable[..., Tuple[float, int, float, Dict[str, Any]]]] = {
     "small_file": wl_small_file,
     "large_file_random_write": wl_large_file_random_write,
+    "seq_read": wl_seq_read,
+    "seq_reread_random_write": wl_seq_reread_random_write,
     "cleaning": wl_cleaning,
 }
 
@@ -647,6 +889,7 @@ def run_harness(
     scale: Scale,
     compare_legacy: bool,
     min_cleaning_speedup: float,
+    min_seq_read_speedup: float = 0.0,
 ) -> Dict[str, Any]:
     workloads: Dict[str, Dict[str, Any]] = {}
     checks: Dict[str, bool] = {}
@@ -716,14 +959,18 @@ def run_harness(
     )
 
     if compare_legacy:
-        speedup = report["workloads"]["cleaning"].get("speedup", 0.0)
-        checks["cleaning_speedup_ok"] = speedup >= min_cleaning_speedup
-        if not checks["cleaning_speedup_ok"]:
-            print(
-                f"[perf] WARNING: cleaning speedup {speedup:.2f}x below the "
-                f"{min_cleaning_speedup:.1f}x target",
-                file=sys.stderr,
-            )
+        for wl_name, check_name, target in (
+            ("cleaning", "cleaning_speedup_ok", min_cleaning_speedup),
+            ("seq_read", "seq_read_speedup_ok", min_seq_read_speedup),
+        ):
+            speedup = report["workloads"][wl_name].get("speedup", 0.0)
+            checks[check_name] = speedup >= target
+            if not checks[check_name]:
+                print(
+                    f"[perf] WARNING: {wl_name} speedup {speedup:.2f}x below "
+                    f"the {target:.1f}x target",
+                    file=sys.stderr,
+                )
     return report
 
 
@@ -783,6 +1030,11 @@ def main(argv=None) -> int:
         "(default 2.0; only with the legacy leg)",
     )
     parser.add_argument(
+        "--min-seq-read-speedup", type=float, default=1.2,
+        help="fail if the seq_read workload speedup is below this "
+        "(default 1.2; only with the legacy leg)",
+    )
+    parser.add_argument(
         "--output", default=os.path.join(_REPO_ROOT, "BENCH_hotpaths.json"),
         help="report path (default: BENCH_hotpaths.json at the repo root)",
     )
@@ -807,6 +1059,7 @@ def main(argv=None) -> int:
         scale,
         compare_legacy=args.legacy,
         min_cleaning_speedup=args.min_cleaning_speedup,
+        min_seq_read_speedup=args.min_seq_read_speedup,
     )
     # Load the baseline before write_report can overwrite it in place.
     apply_baseline_check(report, args.baseline, args.baseline_tolerance)

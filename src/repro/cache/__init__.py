@@ -7,12 +7,15 @@ between the CPU and disk subsystem."
 """
 
 from repro.cache.block_cache import BlockCache, CacheBlock, CacheStats
+from repro.cache.readahead import ReadaheadPolicy, ReadaheadStats
 from repro.cache.writeback import WritebackConfig, WritebackMonitor
 
 __all__ = [
     "BlockCache",
     "CacheBlock",
     "CacheStats",
+    "ReadaheadPolicy",
+    "ReadaheadStats",
     "WritebackConfig",
     "WritebackMonitor",
 ]

@@ -15,6 +15,7 @@ that "blocks mapping active files will stay memory resident" (§4.2.1).
 
 from __future__ import annotations
 
+import struct
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, Iterator, List, Optional, Tuple, Union
@@ -24,6 +25,10 @@ from repro.errors import InvalidArgumentError
 from repro.obs import NULL_TELEMETRY, Telemetry
 
 Payload = Union[bytearray, List[int]]
+
+# Shared zero source for padding short blocks without allocating a fresh
+# bytes object per block; slicing a memoryview is copy-free.
+_ZERO_PAD = memoryview(bytes(64 * 1024))
 
 
 @dataclass
@@ -38,13 +43,33 @@ class CacheBlock:
     def as_bytes(self, block_size: int) -> bytes:
         """Serialized block contents, zero-padded to ``block_size``."""
         if isinstance(self.payload, list):
-            import struct
-
             return struct.pack(f"<{len(self.payload)}Q", *self.payload)
         data = bytes(self.payload)
         if len(data) < block_size:
             data += b"\x00" * (block_size - len(data))
         return data
+
+    def write_into(self, out: memoryview, block_size: int) -> None:
+        """Serialize into ``out`` (``block_size`` writable bytes).
+
+        The zero-copy twin of :meth:`as_bytes`: the segment writer hands
+        us a slice of its pooled buffer and we fill it in place, so no
+        per-block ``bytes`` object is ever materialized on the write
+        path.
+        """
+        payload = self.payload
+        if isinstance(payload, list):
+            struct.pack_into(f"<{len(payload)}Q", out, 0, *payload)
+            used = len(payload) * 8
+        else:
+            used = len(payload)
+            out[:used] = payload
+        if used < block_size:
+            pad = block_size - used
+            if pad <= len(_ZERO_PAD):
+                out[used:block_size] = _ZERO_PAD[:pad]
+            else:
+                out[used:block_size] = bytes(pad)
 
 
 @dataclass
@@ -223,14 +248,22 @@ class BlockCache:
         )
 
     def _evict_to_capacity(self) -> None:
-        if self.used_bytes <= self.capacity_bytes:
+        # A full cache exceeds capacity by one block per insert, so this
+        # runs on nearly every insert of a streaming read.  Walk the LRU
+        # order only as far as needed instead of materializing the full
+        # evictable list each time — same victims, same order, but the
+        # common case touches one or two entries, not the whole cache.
+        over = self.used_bytes - self.capacity_bytes
+        if over <= 0:
             return
-        victims = [
-            key for key, block in self._blocks.items() if self._evictable(block)
-        ]
+        victims: List[BlockKey] = []
+        for key, block in self._blocks.items():
+            if self._evictable(block):
+                victims.append(key)
+                over -= self.block_size
+                if over <= 0:
+                    break
         for key in victims:
-            if self.used_bytes <= self.capacity_bytes:
-                break
             del self._blocks[key]
             self._forget_key(key)
             self.stats.evictions += 1

@@ -60,7 +60,7 @@ def _parse_size(text: str) -> int:
         raise argparse.ArgumentTypeError(f"bad size: {text!r}") from exc
 
 
-def _open_image(path: str, telemetry=None):
+def _open_image(path: str, telemetry=None, readahead: int = 0):
     """Load an image and mount whatever file system it holds.
 
     Images load onto a :class:`FaultyDevice` with a no-fault injector:
@@ -69,6 +69,8 @@ def _open_image(path: str, telemetry=None):
     (``repro stats``) always show the fault channel — normally at zero.
     """
     from repro.faults import FaultInjector, FaultyDevice
+    from repro.ffs.config import FfsConfig
+    from repro.lfs.config import LfsConfig
 
     device = FaultyDevice.load(path)
     device.injector = FaultInjector(telemetry=telemetry)
@@ -82,9 +84,11 @@ def _open_image(path: str, telemetry=None):
     )
     kind = identify(device)
     if kind == "lfs":
-        return LogStructuredFS.mount(disk, cpu), device
+        config = LfsConfig(readahead_blocks=readahead)
+        return LogStructuredFS.mount(disk, cpu, config=config), device
     if kind == "ffs":
-        return FastFileSystem.mount(disk, cpu), device
+        config = FfsConfig(readahead_blocks=readahead)
+        return FastFileSystem.mount(disk, cpu, config=config), device
     raise ReproError(f"{path!r} holds no recognizable file system")
 
 
@@ -276,11 +280,53 @@ def cmd_fig(args) -> int:
     return 0
 
 
+def _exercise_reads(fs, pattern: str, chunk_blocks: int = 4) -> int:
+    """Read every regular file in the image (recursively).
+
+    ``seq-read`` reads each file front to back in small chunks — the
+    access pattern the readahead pipeline detects; ``random-read``
+    touches the same chunks in a seeded-random order, which must never
+    trigger readahead (``cache.readahead_hits`` stays 0).
+    """
+    import random as _random
+
+    rng = _random.Random(0)
+    chunk = chunk_blocks * fs.block_size
+    total = 0
+
+    def walk(path: str) -> None:
+        nonlocal total
+        for name in fs.listdir(path):
+            child = f"{path.rstrip('/')}/{name}"
+            stat = fs.stat(child)
+            if stat.is_dir:
+                walk(child)
+                continue
+            offsets = list(range(0, max(stat.size, 1), chunk))
+            if pattern == "random-read":
+                rng.shuffle(offsets)
+            with fs.open(child) as handle:
+                for offset in offsets:
+                    total += len(handle.pread(offset, chunk))
+
+    walk("/")
+    return total
+
+
 def cmd_stats(args) -> int:
     from repro.obs import Telemetry, export_jsonl, render_report
 
     telemetry = Telemetry()
-    fs, _device = _open_image(args.image, telemetry=telemetry)
+    # Readahead is armed for either exercise pattern: the point of the
+    # random-read leg is that the policy itself declines to prefetch
+    # (cache.readahead_hits stays 0), not that it was switched off.
+    readahead = args.readahead if args.exercise else 0
+    fs, _device = _open_image(
+        args.image, telemetry=telemetry, readahead=readahead
+    )
+    if args.exercise:
+        nbytes = _exercise_reads(fs, args.exercise)
+        print(f"exercised {args.exercise}: {nbytes} bytes read")
     print(render_report(telemetry, title=f"mount {args.image}"))
     print("-- disk --")
     print(f"  {fs.disk.stats.summary()}")
@@ -400,6 +446,19 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="mount an image with telemetry on and report"
     )
     p.add_argument("image")
+    p.add_argument(
+        "--exercise",
+        choices=("seq-read", "random-read"),
+        help="read every file in this pattern (readahead armed) before "
+        "reporting, so cache.readahead_* series show real traffic",
+    )
+    p.add_argument(
+        "--readahead",
+        type=int,
+        default=16,
+        metavar="BLOCKS",
+        help="readahead window used with --exercise (default 16)",
+    )
     p.add_argument(
         "--telemetry",
         metavar="OUT.JSONL",

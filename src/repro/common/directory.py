@@ -72,7 +72,7 @@ class DirectoryBlock:
             offset += _ENTRY_HEADER.size
             if offset + name_len > len(data):
                 raise CorruptionError("directory entry name runs off block")
-            name = data[offset : offset + name_len].decode("utf-8")
+            name = str(data[offset : offset + name_len], "utf-8")
             offset += name_len
             entries.append((name, inum))
         return cls(block_size=block_size, entries=entries)

@@ -124,7 +124,9 @@ class Unpacker:
 
     def string(self) -> str:
         length = self.u16()
-        return self._take(length).decode("utf-8")
+        # str(buf, "utf-8") accepts any buffer; .decode() would reject
+        # the memoryviews the zero-copy read path hands us.
+        return str(self._take(length), "utf-8")
 
     @property
     def offset(self) -> int:

@@ -57,6 +57,7 @@ class StripedDisk:
         self.stats = DiskStats()
         self._head_pos = [0] * num_disks
         self._busy_until = [0.0] * num_disks
+        self.vectored_reads = 0
 
     @property
     def total_bytes(self) -> int:
@@ -138,10 +139,20 @@ class StripedDisk:
     # I/O (SimDisk-compatible surface)
     # ------------------------------------------------------------------
 
-    def read(self, sector: int, count: int, label: str = "") -> bytes:
+    def read(
+        self,
+        sector: int,
+        count: int,
+        label: str = "",
+        *,
+        vectored: bool = False,
+        copy: bool = False,
+    ) -> "bytes | memoryview":
         issue = self.clock.now()
         start, done, tier = self._schedule(sector, count)
-        data = self.device.read(sector, count)
+        if vectored:
+            self.vectored_reads += 1
+        data = self.device.read(sector, count, copy=copy)
         self.stats.record(False, len(data), True, tier.value, done - start)
         if self.trace is not None:
             self.trace.record(

@@ -108,12 +108,24 @@ class SectorDevice:
                 f"{self.num_sectors} sectors"
             )
 
-    def read(self, sector: int, count: int) -> bytes:
-        """Read ``count`` sectors starting at ``sector``."""
+    def read(self, sector: int, count: int, *, copy: bool = False) -> "bytes | memoryview":
+        """Read ``count`` sectors starting at ``sector``.
+
+        Returns a read-only :class:`memoryview` aliasing the device's
+        backing buffer — zero copies, zero allocations beyond the view
+        object itself.  The view stays coherent with later writes (it
+        aliases live storage), so callers that need a stable snapshot
+        must pass ``copy=True`` (or copy the view themselves) — that is
+        the explicit-copy escape hatch; everything on the hot path works
+        directly on the view.
+        """
         self._check_range(sector, count)
         self.total_sectors_read += count
         start = sector * self.sector_size
-        return bytes(self._data[start : start + count * self.sector_size])
+        end = start + count * self.sector_size
+        if copy:
+            return bytes(self._data[start:end])  # alloc-ok: explicit snapshot
+        return memoryview(self._data)[start:end].toreadonly()
 
     def write(
         self,
@@ -130,6 +142,11 @@ class SectorDevice:
         can never be rolled back (it will advance the clock past the
         completion time before any crash can be observed — the timing
         layer's synchronous-write path), so no undo record is kept.
+
+        ``data`` may be any buffer (``bytes``, ``bytearray``,
+        ``memoryview``); the slice assignment below copies it into the
+        device image, so callers may reuse their buffer immediately.  It
+        must not alias this device's own backing storage.
         """
         if len(data) % self.sector_size:
             raise OutOfRangeError(
@@ -153,7 +170,13 @@ class SectorDevice:
                 _PendingWrite(
                     completion_time=completion_time,
                     sector=sector,
-                    old_data=bytes(self._data[start : start + len(data)]),
+                    # The undo record must snapshot the bytes being
+                    # overwritten — crash() needs them long after the
+                    # live image has moved on.  This is the one genuine
+                    # copy on the write path.
+                    old_data=bytes(  # alloc-ok: crash-rollback snapshot
+                        self._data[start : start + len(data)]
+                    ),
                 )
             )
             self.undo_records_created += 1
@@ -231,7 +254,7 @@ class SectorDevice:
 
     def snapshot(self) -> bytes:
         """A copy of the current (possibly non-durable) device image."""
-        return bytes(self._data)
+        return bytes(self._data)  # alloc-ok: snapshot API, copy is the point
 
     def save(self, path: str) -> None:
         """Persist the device image to a host file."""

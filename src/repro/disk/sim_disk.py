@@ -88,6 +88,10 @@ class SimDisk:
             for tier in AccessTier
         }
         self._m_retries = obs.counter("disk.read_retries")
+        # Vectored reads: multi-block requests issued as one transfer by
+        # the readahead pipeline (and any other run-coalescing caller).
+        self.vectored_reads = 0
+        self._m_vectored = obs.counter("disk.vectored_reads")
 
     # ------------------------------------------------------------------
     # Timing model
@@ -127,8 +131,24 @@ class SimDisk:
     # I/O
     # ------------------------------------------------------------------
 
-    def read(self, sector: int, count: int, label: str = "") -> bytes:
+    def read(
+        self,
+        sector: int,
+        count: int,
+        label: str = "",
+        *,
+        vectored: bool = False,
+        copy: bool = False,
+    ) -> "bytes | memoryview":
         """Synchronously read ``count`` sectors (reads always block).
+
+        Returns a read-only view over the device image (zero-copy).  The
+        view aliases live storage: it reflects any later write to the
+        same sectors, so callers must consume or copy it before issuing
+        further writes.  ``copy=True`` requests a stable ``bytes``
+        snapshot instead.  ``vectored=True`` tags the request as a
+        multi-block transfer coalesced by the readahead pipeline (it
+        only affects accounting, not timing).
 
         Transient device errors are retried up to ``read_retry_limit``
         times, each retry costing an exponentially growing backoff on
@@ -137,10 +157,14 @@ class SimDisk:
         """
         issue = self.clock.now()
         start, done, tier = self._schedule(sector, count * self.geometry.sector_size)
+        if vectored:
+            self.vectored_reads += 1
+            if self._obs_enabled:
+                self._m_vectored.inc()
         attempt = 0
         while True:
             try:
-                data = self.device.read(sector, count)
+                data = self.device.read(sector, count, copy=copy)
                 break
             except TransientIOError:
                 attempt += 1

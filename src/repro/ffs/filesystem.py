@@ -97,7 +97,13 @@ class FastFileSystem(BaseFileSystem):
     def __init__(self, disk: SimDisk, cpu: CpuModel, config: FfsConfig) -> None:
         self._config = config
         self.layout = FfsLayout.for_device(config, disk.device.total_bytes)
-        super().__init__(disk, cpu, config.cache_bytes, config.writeback)
+        super().__init__(
+            disk,
+            cpu,
+            config.cache_bytes,
+            config.writeback,
+            readahead_blocks=config.readahead_blocks,
+        )
         self.allocator = Allocator(config, self.layout)
         self.sync_metadata_writes = 0
 
@@ -160,6 +166,7 @@ class FastFileSystem(BaseFileSystem):
             cache_bytes=base.cache_bytes,
             synchronous_metadata=base.synchronous_metadata,
             writeback=base.writeback,
+            readahead_blocks=base.readahead_blocks,
         )
         fs = cls(disk, cpu, merged)
         for cg in range(fs.layout.num_groups):

@@ -102,7 +102,9 @@ class _Fsck:
     def _write_block(self, addr: int, data: bytes, label: str) -> None:
         spb = self.config.sectors_per_block
         if len(data) < self.config.block_size:
-            data = data + b"\x00" * (self.config.block_size - len(data))
+            data = b"".join(
+                (data, bytes(self.config.block_size - len(data)))
+            )
         self.disk.write(addr * spb, data, sync=True, label=label)
 
     # -- phase 1: scan every inode ----------------------------------------
@@ -117,7 +119,7 @@ class _Fsck:
                     self.report.inodes_scanned += 1
                     _addr, slot = self.layout.inode_location(inum)
                     chunk = raw[slot * INODE_SIZE : (slot + 1) * INODE_SIZE]
-                    if chunk.strip(b"\x00") == b"":
+                    if not any(chunk):  # all-zero slot; works on memoryviews
                         continue
                     try:
                         inode = Inode.unpack(chunk)

@@ -275,7 +275,6 @@ class SegmentCleaner:
     def _relocate_live_blocks(self, seg: int) -> None:
         fs = self.fs
         layout = fs.layout
-        bs = fs.config.block_size
         bps = fs.config.blocks_per_segment
         if fs.usage.info(seg).state is not SegmentState.DIRTY:
             raise CorruptionError(f"cleaning non-dirty segment {seg}")
@@ -283,44 +282,66 @@ class SegmentCleaner:
         with self.telemetry.span(
             "cleaner.relocate_segment", segment=seg
         ) as span:
-            raw = fs.disk.read(
-                first_block * fs.config.sectors_per_block,
-                bps * fs.config.sectors_per_block,
-                label=f"cleaner segment {seg}",
-            )
-            self.stats.bytes_read += len(raw)
-            self._m_bytes_read.inc(len(raw))
-            live = dead = 0
-            offset = 0
-            while offset < bps:
-                try:
-                    nsummary = SegmentSummary.peek_summary_blocks(
-                        raw[offset * bs : (offset + 1) * bs], bs
-                    )
-                    summary = SegmentSummary.unpack(raw[offset * bs :], bs)
-                except CorruptionError:
-                    break  # end of the written log within this segment
-                fs.cpu.cleaner_blocks(len(summary.entries))
-                for position, entry in enumerate(summary.entries):
-                    addr = first_block + offset + nsummary + position
-                    payload = raw[
-                        (offset + nsummary + position)
-                        * bs : (offset + nsummary + position + 1)
-                        * bs
-                    ]
-                    if self._relocate_entry(entry, addr, payload):
-                        live += 1
-                    else:
-                        dead += 1
-                offset += nsummary + summary.nblocks
-            self.stats.live_blocks_copied += live
-            self.stats.live_bytes_copied += live * bs
-            self.stats.dead_blocks_dropped += dead
-            self._m_live_blocks.inc(live)
-            self._m_live_copied.inc(live * bs)
-            self._m_dead_blocks.inc(dead)
-            span.set_attr("live_blocks", live)
-            span.set_attr("dead_blocks", dead)
+            # Stage the whole-segment read in a pooled buffer: the
+            # device hands back a zero-copy view of live storage, and
+            # relocation must keep parsing it across cache traffic, so
+            # one memcpy into the segment writer's reusable buffer (no
+            # per-victim allocation) decouples us from later writes.
+            pool = fs.segments.pool
+            buffer = pool.acquire()
+            try:
+                image = fs.disk.read(
+                    first_block * fs.config.sectors_per_block,
+                    bps * fs.config.sectors_per_block,
+                    label=f"cleaner segment {seg}",
+                    vectored=True,
+                )
+                nbytes = len(image)
+                staging = memoryview(buffer)
+                staging[:nbytes] = image
+                raw = staging[:nbytes].toreadonly()
+                self._scan_segment(seg, first_block, raw, span)
+            finally:
+                pool.release(buffer)
+
+    def _scan_segment(self, seg: int, first_block: int, raw, span) -> None:
+        """Walk a staged segment image, relocating its live entries."""
+        fs = self.fs
+        bs = fs.config.block_size
+        bps = fs.config.blocks_per_segment
+        self.stats.bytes_read += len(raw)
+        self._m_bytes_read.inc(len(raw))
+        live = dead = 0
+        offset = 0
+        while offset < bps:
+            try:
+                nsummary = SegmentSummary.peek_summary_blocks(
+                    raw[offset * bs : (offset + 1) * bs], bs
+                )
+                summary = SegmentSummary.unpack(raw[offset * bs :], bs)
+            except CorruptionError:
+                break  # end of the written log within this segment
+            fs.cpu.cleaner_blocks(len(summary.entries))
+            for position, entry in enumerate(summary.entries):
+                addr = first_block + offset + nsummary + position
+                payload = raw[
+                    (offset + nsummary + position)
+                    * bs : (offset + nsummary + position + 1)
+                    * bs
+                ]
+                if self._relocate_entry(entry, addr, payload):
+                    live += 1
+                else:
+                    dead += 1
+            offset += nsummary + summary.nblocks
+        self.stats.live_blocks_copied += live
+        self.stats.live_bytes_copied += live * bs
+        self.stats.dead_blocks_dropped += dead
+        self._m_live_blocks.inc(live)
+        self._m_live_copied.inc(live * bs)
+        self._m_dead_blocks.inc(dead)
+        span.set_attr("live_blocks", live)
+        span.set_attr("dead_blocks", dead)
 
     def _relocate_entry(
         self, entry: SummaryEntry, addr: int, payload: bytes

@@ -68,6 +68,14 @@ class LfsConfig:
 
     writeback: WritebackConfig = field(default_factory=WritebackConfig)
 
+    readahead_blocks: int = 0
+    """Sequential-readahead window in blocks (0 disables readahead).
+
+    Prefetch reads are real simulated I/O and advance the simulated
+    clock, so experiments that pin device images byte-for-byte must
+    leave this at 0; benchmarks opt in explicitly.
+    """
+
     def __post_init__(self) -> None:
         if self.block_size % SECTOR_SIZE:
             raise InvalidArgumentError(
@@ -92,6 +100,10 @@ class LfsConfig:
         if self.clean_high_water < self.clean_low_water:
             raise InvalidArgumentError(
                 "clean_high_water below clean_low_water"
+            )
+        if self.readahead_blocks < 0:
+            raise InvalidArgumentError(
+                f"readahead_blocks must be >= 0: {self.readahead_blocks}"
             )
 
     @property

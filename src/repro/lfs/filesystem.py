@@ -109,7 +109,12 @@ class LogStructuredFS(BaseFileSystem):
         self._config = config
         self.layout = LfsLayout.for_device(config, disk.device.total_bytes)
         super().__init__(
-            disk, cpu, config.cache_bytes, config.writeback, telemetry=telemetry
+            disk,
+            cpu,
+            config.cache_bytes,
+            config.writeback,
+            telemetry=telemetry,
+            readahead_blocks=config.readahead_blocks,
         )
         self.imap = InodeMap(config.max_inodes, config.block_size)
         self.usage = SegmentUsage(
@@ -135,6 +140,7 @@ class LogStructuredFS(BaseFileSystem):
             disk,
             self.clock,
             reserve,
+            telemetry=self.telemetry,
         )
         self.checkpoints = CheckpointManager(
             self.layout, disk, self.clock, telemetry=self.telemetry
@@ -213,6 +219,7 @@ class LogStructuredFS(BaseFileSystem):
             cleaner_policy=base.cleaner_policy,
             roll_forward=base.roll_forward,
             writeback=base.writeback,
+            readahead_blocks=base.readahead_blocks,
         )
         fs = cls(disk, cpu, merged, telemetry=telemetry)
         checkpoint, _region = fs.checkpoints.load_latest()
@@ -474,6 +481,9 @@ class LogStructuredFS(BaseFileSystem):
                     ),
                     payload=lambda block=block: block.as_bytes(bs),
                     finalize=finalize,
+                    write_into=lambda out, block=block: block.write_into(
+                        out, bs
+                    ),
                 )
             )
 
@@ -506,6 +516,12 @@ class LogStructuredFS(BaseFileSystem):
                     raise CorruptionError(f"planned pointer block {key} vanished")
                 return current.as_bytes(bs)
 
+            def write_into(out, key=key) -> None:
+                current = cache.peek(key)
+                if current is None:
+                    raise CorruptionError(f"planned pointer block {key} vanished")
+                current.write_into(out, bs)
+
             plan.append(
                 PlannedBlock(
                     entry=SummaryEntry(
@@ -516,6 +532,7 @@ class LogStructuredFS(BaseFileSystem):
                     ),
                     payload=payload,
                     finalize=finalize,
+                    write_into=write_into,
                 )
             )
 
@@ -541,6 +558,12 @@ class LogStructuredFS(BaseFileSystem):
                     raise CorruptionError(f"planned pointer block {key} vanished")
                 return current.as_bytes(bs)
 
+            def write_into(out, key=key) -> None:
+                current = cache.peek(key)
+                if current is None:
+                    raise CorruptionError(f"planned pointer block {key} vanished")
+                current.write_into(out, bs)
+
             plan.append(
                 PlannedBlock(
                     entry=SummaryEntry(
@@ -551,6 +574,7 @@ class LogStructuredFS(BaseFileSystem):
                     ),
                     payload=payload,
                     finalize=finalize,
+                    write_into=write_into,
                 )
             )
 

@@ -220,7 +220,9 @@ def _try_parse(
         except MediaError:
             report.media_errors += 1
             return None
-        head = head + rest
+        # join() accepts the memoryviews the zero-copy read path returns;
+        # ``+`` would not.
+        head = b"".join((head, rest))
     try:
         summary = SegmentSummary.unpack(head, bs)
     except CorruptionError:

@@ -23,7 +23,52 @@ from repro.errors import CleanerError, NoSpaceError
 from repro.lfs.config import LfsLayout
 from repro.lfs.segment_usage import SegmentUsage
 from repro.lfs.summary import SegmentSummary, SummaryEntry
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.sim.clock import SimClock
+
+
+class SegmentBufferPool:
+    """Reusable segment-sized ``bytearray`` buffers.
+
+    The segment writer assembles every partial segment in one of these
+    (and the cleaner stages whole-segment reads in them), so the steady
+    state allocates no transfer-sized buffers at all — the same one or
+    two arrays cycle forever.  Buffers come back dirty; callers always
+    overwrite the prefix they use, so no zeroing happens on release.
+    """
+
+    def __init__(
+        self,
+        buffer_bytes: int,
+        max_buffers: int = 4,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.buffer_bytes = buffer_bytes
+        self.max_buffers = max_buffers
+        self._free: List[bytearray] = []
+        self.allocations = 0
+        self.reuses = 0
+        obs = telemetry or NULL_TELEMETRY
+        self._obs_enabled = obs.enabled
+        self._m_reuse = obs.counter("alloc.segment_pool_reuse")
+
+    def acquire(self) -> bytearray:
+        """A segment-sized buffer with arbitrary (stale) contents."""
+        if self._free:
+            self.reuses += 1
+            if self._obs_enabled:
+                self._m_reuse.inc()
+            return self._free.pop()
+        self.allocations += 1
+        return bytearray(self.buffer_bytes)
+
+    def release(self, buffer: bytearray) -> None:
+        """Return a buffer to the pool (excess buffers are dropped)."""
+        if (
+            len(buffer) == self.buffer_bytes
+            and len(self._free) < self.max_buffers
+        ):
+            self._free.append(buffer)
 
 
 @dataclass
@@ -36,11 +81,18 @@ class PlannedBlock:
     usage accounting.  ``payload`` is called afterwards, so blocks whose
     serialized form depends on later-placed blocks' addresses (inodes,
     inode-map blocks) are always written with the final values.
+
+    ``write_into``, when provided, is the zero-copy alternative to
+    ``payload``: it serializes the block directly into a block-sized
+    slice of the segment writer's pooled buffer instead of returning a
+    fresh ``bytes`` object.  ``payload`` stays as the fallback (and for
+    callers, like recovery tests, that want standalone bytes).
     """
 
     entry: SummaryEntry
     payload: Callable[[], bytes]
     finalize: Callable[[int], None]
+    write_into: Optional[Callable[[memoryview], None]] = None
 
 
 @dataclass
@@ -63,6 +115,7 @@ class SegmentManager:
         disk: SimDisk,
         clock: SimClock,
         reserve_segments: int,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.layout = layout
         self.usage = usage
@@ -75,6 +128,9 @@ class SegmentManager:
         self.partial_segments_written = 0
         self.log_bytes_written = 0
         self.cleaner_bytes_written = 0
+        self.pool = SegmentBufferPool(
+            layout.config.segment_size, telemetry=telemetry
+        )
 
     # ------------------------------------------------------------------
     # Log-tail state
@@ -198,35 +254,52 @@ class SegmentManager:
             ),
             entries=[planned.entry for planned in chunk],
         )
-        parts = [summary.pack(bs)]
-        for planned in chunk:
-            payload = planned.payload()
-            if len(payload) != bs:
-                raise CleanerError(
-                    f"planned block serialized to {len(payload)} bytes, "
-                    f"expected {bs}"
-                )
-            parts.append(payload)
-        data = b"".join(parts)
-        if len(data) != (nsummary + len(chunk)) * bs:
-            raise AssertionError("partial segment size mismatch")
-        label = (
-            f"segment:{pos.active_segment}"
-            f"+{pos.active_offset} seq={pos.sequence}"
-            + (" (cleaner)" if self.cleaner_mode else "")
-        )
-        self.disk.write(
-            first_block * self.layout.config.sectors_per_block,
-            data,
-            sync=False,
-            label=label,
-        )
+        # Assemble the whole partial segment in one pooled buffer: the
+        # summary plus every content block lands via slice assignment /
+        # pack_into, then a single asynchronous device write ships it.
+        # The device copies the buffer into its image synchronously, so
+        # the buffer goes straight back to the pool.
+        total = (nsummary + len(chunk)) * bs
+        buffer = self.pool.acquire()
+        view = memoryview(buffer)
+        try:
+            summary_bytes = summary.pack(bs)
+            if len(summary_bytes) != nsummary * bs:
+                raise AssertionError("partial segment size mismatch")
+            view[: len(summary_bytes)] = summary_bytes
+            offset = nsummary * bs
+            for planned in chunk:
+                if planned.write_into is not None:
+                    planned.write_into(view[offset : offset + bs])
+                else:
+                    payload = planned.payload()
+                    if len(payload) != bs:
+                        raise CleanerError(
+                            f"planned block serialized to {len(payload)} "
+                            f"bytes, expected {bs}"
+                        )
+                    view[offset : offset + bs] = payload
+                offset += bs
+            label = (
+                f"segment:{pos.active_segment}"
+                f"+{pos.active_offset} seq={pos.sequence}"
+                + (" (cleaner)" if self.cleaner_mode else "")
+            )
+            self.disk.write(
+                first_block * self.layout.config.sectors_per_block,
+                view[:total],
+                sync=False,
+                label=label,
+            )
+        finally:
+            view.release()
+            self.pool.release(buffer)
         pos.active_offset += nsummary + len(chunk)
         pos.sequence += 1
         self.partial_segments_written += 1
-        self.log_bytes_written += len(data)
+        self.log_bytes_written += total
         if self.cleaner_mode:
-            self.cleaner_bytes_written += len(data)
+            self.cleaner_bytes_written += total
         if self.remaining_blocks() < 2:
             self._advance_segment()
-        return len(data)
+        return total

@@ -18,6 +18,7 @@ scanned.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
@@ -172,7 +173,12 @@ class SegmentSummary:
         # Every field decodes bijectively, so checksumming the raw bytes
         # we just parsed is equivalent to re-packing them (and much
         # cheaper — the cleaner unpacks a summary per partial segment).
-        if checksum(data[:_CRC_OFFSET] + data[_HEADER_SIZE:offset]) != crc:
+        # Chained crc32 avoids concatenating the two spans, which also
+        # keeps this working when ``data`` is a zero-copy memoryview.
+        computed = zlib.crc32(
+            data[_HEADER_SIZE:offset], zlib.crc32(data[:_CRC_OFFSET])
+        ) & 0xFFFFFFFF
+        if computed != crc:
             raise ChecksumMismatch(f"summary checksum mismatch at seq {seq}")
         return cls(
             seq=seq,

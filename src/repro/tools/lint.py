@@ -1,8 +1,9 @@
 """A dependency-free linter for the classes of defect this repo cares
 about: unused imports, write-only local variables, instrumented modules
 that bypass the telemetry registry with bare ``print``, broad
-``except`` clauses in the crash-recovery modules (FAULT001), and
-wall-clock calls in the simulated-time service layer (SVC001).
+``except`` clauses in the crash-recovery modules (FAULT001),
+wall-clock calls in the simulated-time service layer (SVC001), and
+buffer copies on the zero-copy data path (ALLOC001).
 
 The container this project builds in has no third-party linter, so this
 module is the fallback for ``make lint`` — when ``ruff`` is installed
@@ -282,6 +283,62 @@ def _check_service_wall_clock(
             )
 
 
+_ALLOC_HOT_PATHS = ("repro/disk/", "repro/lfs/segments.py")
+"""Zero-copy data-path files where buffer copies are budgeted.
+
+The device read path returns memoryviews and the segment writer
+assembles partial segments in pooled buffers, so a ``bytes(...)`` or
+``b"".join(...)`` there is usually an accidental reintroduction of a
+per-I/O copy.  The genuinely necessary copies (crash-rollback undo
+records, explicit snapshot APIs) carry an ``# alloc-ok:`` comment on
+the call's line, which is ALLOC001's escape hatch."""
+
+
+def _alloc_ok_lines(source: str) -> Set[int]:
+    return {
+        number
+        for number, line in enumerate(source.splitlines(), start=1)
+        if "# alloc-ok" in line
+    }
+
+
+def _check_hot_path_allocs(
+    path: str, tree: ast.Module, noqa: Set[int], alloc_ok: Set[int]
+) -> Iterator[Tuple[str, int, str]]:
+    normalized = path.replace(os.sep, "/")
+    if not any(marker in normalized for marker in _ALLOC_HOT_PATHS):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        finding = None
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "bytes"
+            and node.args
+        ):
+            finding = "`bytes(...)`"
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and isinstance(node.func.value, ast.Constant)
+            and isinstance(node.func.value.value, bytes)
+        ):
+            finding = f"`{node.func.value.value!r}.join(...)`"
+        if (
+            finding
+            and node.lineno not in alloc_ok
+            and node.lineno not in noqa
+        ):
+            yield (
+                path,
+                node.lineno,
+                f"ALLOC001 {finding} copies a buffer on the zero-copy "
+                "data path; use memoryview slices or the pooled segment "
+                "buffer, or mark a deliberate copy with `# alloc-ok:`",
+            )
+
+
 def lint_file(path: str) -> List[Tuple[str, int, str]]:
     with open(path, encoding="utf-8") as handle:
         source = handle.read()
@@ -295,6 +352,9 @@ def lint_file(path: str) -> List[Tuple[str, int, str]]:
     findings.extend(_check_obs_print_bypass(path, tree, noqa))
     findings.extend(_check_recovery_broad_except(path, tree, noqa))
     findings.extend(_check_service_wall_clock(path, tree, noqa))
+    findings.extend(
+        _check_hot_path_allocs(path, tree, noqa, _alloc_ok_lines(source))
+    )
     return findings
 
 

@@ -21,6 +21,7 @@ import struct
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cache.block_cache import BlockCache, CacheBlock
+from repro.cache.readahead import ReadaheadPolicy
 from repro.cache.writeback import WritebackConfig, WritebackMonitor, WritebackReason
 from repro.common.directory import DirectoryBlock, entry_size, validate_name
 from repro.common.inode import (
@@ -66,6 +67,7 @@ class BaseFileSystem(StorageManager):
         cache_bytes: int,
         writeback_config: Optional[WritebackConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        readahead_blocks: int = 0,
     ) -> None:
         self.disk = disk
         self.clock = cpu.clock
@@ -83,6 +85,9 @@ class BaseFileSystem(StorageManager):
         self._m_fs_bytes_read = self.telemetry.counter("fs.bytes_read")
         self.cache = BlockCache(
             cache_bytes, self.block_size, telemetry=self.telemetry
+        )
+        self.readahead = ReadaheadPolicy(
+            readahead_blocks, telemetry=self.telemetry
         )
         self.monitor = WritebackMonitor(
             self.cache,
@@ -240,8 +245,21 @@ class BaseFileSystem(StorageManager):
     def _data_key(self, inum: int, lbn: int) -> BlockKey:
         return BlockKey(inum, BlockKind.DATA, lbn)
 
-    def _fetch_data_blocks(self, inode: Inode, first: int, last: int) -> None:
-        """Ensure data blocks [first, last] are cached (clustered reads)."""
+    def _fetch_data_blocks(
+        self,
+        inode: Inode,
+        first: int,
+        last: int,
+        prefetch_after: Optional[int] = None,
+    ) -> None:
+        """Ensure data blocks [first, last] are cached (clustered reads).
+
+        Blocks past ``prefetch_after`` are being read ahead of a
+        sequential stream rather than on demand: they are reported to
+        the readahead policy (so its hit accounting works) and their
+        disk-contiguous runs may grow to the full readahead window
+        rather than the ordinary demand-read cluster limit.
+        """
         missing: List[Tuple[int, int]] = []
         for lbn in range(first, last + 1):
             if not self.cache.contains(self._data_key(inode.inum, lbn)):
@@ -252,6 +270,8 @@ class BaseFileSystem(StorageManager):
         # systems' read clustering does; this is why LFS's 4 KB blocks do
         # not halve its sequential read bandwidth relative to FFS's 8 KB.
         max_blocks = max(1, MAX_READ_CLUSTER // self.block_size)
+        if prefetch_after is not None:
+            max_blocks = max(max_blocks, self.readahead.window_blocks)
         index = 0
         while index < len(missing):
             run = [missing[index]]
@@ -267,6 +287,7 @@ class BaseFileSystem(StorageManager):
                 start_addr * self.sectors_per_block,
                 self.sectors_per_block * len(run),
                 label=f"data:{inode.inum}",
+                vectored=len(run) > 1,
             )
             for position, (lbn, _addr) in enumerate(run):
                 chunk = raw[
@@ -278,6 +299,8 @@ class BaseFileSystem(StorageManager):
                     dirty=False,
                     now=self.clock.now(),
                 )
+                if prefetch_after is not None and lbn > prefetch_after:
+                    self.readahead.note_prefetched(inode.inum, lbn)
             index += len(run)
 
     def _read_range(self, inode: Inode, offset: int, length: int) -> bytes:
@@ -290,12 +313,31 @@ class BaseFileSystem(StorageManager):
             return b""
         bs = self.block_size
         first, last = offset // bs, (end - 1) // bs
-        self._fetch_data_blocks(inode, first, last)
+        window = self.readahead.advise(inode.inum, first, last)
+        if window:
+            fetch_last = min(last + window, (inode.size - 1) // bs)
+            self._fetch_data_blocks(
+                inode, first, fetch_last, prefetch_after=last
+            )
+        else:
+            self._fetch_data_blocks(inode, first, last)
         parts: List[bytes] = []
         for lbn in range(first, last + 1):
             block = self.cache.get(self._data_key(inode.inum, lbn))
             if block is None:
-                chunk = b"\x00" * bs  # hole
+                addr = self.block_map.get(inode, lbn)
+                if addr == NIL:
+                    chunk = b"\x00" * bs  # hole
+                else:
+                    # The clustered fetch skipped this block because it
+                    # was cached, but inserting its fetched neighbours
+                    # evicted it before assembly (cache smaller than
+                    # the read window).  Evicted means clean, so the
+                    # on-disk copy is current: read it directly rather
+                    # than re-inserting a block the cache just dropped.
+                    chunk = self._read_block_from_disk(
+                        addr, label=f"data:{inode.inum}"
+                    )
             else:
                 chunk = block.as_bytes(bs)
             lo = offset - lbn * bs if lbn == first else 0
@@ -438,6 +480,7 @@ class BaseFileSystem(StorageManager):
         """Release every block of a deleted file."""
         self._truncate(inode, 0)
         self.cache.discard_file(inode.inum)
+        self.readahead.forget(inode.inum)
 
     # ------------------------------------------------------------------
     # Directories

@@ -188,3 +188,87 @@ class TestPayloads:
     def test_capacity_validation(self):
         with pytest.raises(InvalidArgumentError):
             BlockCache(capacity_bytes=100, block_size=BS)
+
+
+class TestPerInodeIndex:
+    """Pin the O(per-inode) discard_file index: dropping one file's
+    blocks must not scan the whole cache, and the index must stay exact
+    through insert/discard/eviction churn."""
+
+    def test_index_tracks_inserts_and_discards(self, cache):
+        for index in range(4):
+            cache.insert(key(inum=1, index=index), bytearray(BS), dirty=False, now=0.0)
+        cache.insert(key(inum=2, index=0), bytearray(BS), dirty=False, now=0.0)
+        assert cache._by_inum[1] == {key(inum=1, index=i) for i in range(4)}
+        cache.discard(key(inum=1, index=0))
+        assert key(inum=1, index=0) not in cache._by_inum[1]
+        assert cache.discard_file(1) == 3
+        assert 1 not in cache._by_inum
+        assert cache._by_inum[2] == {key(inum=2, index=0)}
+
+    def test_discard_file_does_not_touch_other_inodes(self, cache):
+        cache.insert(key(inum=1), bytearray(BS), dirty=False, now=0.0)
+        cache.insert(key(inum=2), bytearray(BS), dirty=False, now=0.0)
+        assert cache.discard_file(1) == 1
+        assert cache.contains(key(inum=2))
+
+    def test_eviction_maintains_index(self, cache):
+        # Capacity is 8 blocks: inserting 10 clean data blocks evicts
+        # the two oldest, which must also vanish from the inode index.
+        for index in range(10):
+            cache.insert(key(inum=7, index=index), bytearray(BS), dirty=False, now=0.0)
+        assert len(cache) == 8
+        assert cache._by_inum[7] == {
+            key(inum=7, index=i) for i in range(2, 10)
+        }
+
+
+class TestLazyEviction:
+    def test_evicts_oldest_clean_blocks_first(self, cache):
+        for index in range(8):
+            cache.insert(key(index=index), bytearray(BS), dirty=False, now=0.0)
+        cache.get(key(index=0))  # refresh block 0
+        cache.insert(key(index=8), bytearray(BS), dirty=False, now=0.0)
+        assert cache.contains(key(index=0))
+        assert not cache.contains(key(index=1))
+        assert cache.stats.evictions == 1
+
+    def test_skips_leading_dirty_blocks(self, cache):
+        for index in range(4):
+            cache.insert(key(index=index), bytearray(BS), dirty=True, now=0.0)
+        for index in range(4, 9):
+            cache.insert(key(index=index), bytearray(BS), dirty=False, now=0.0)
+        # The dirty LRU prefix is not evictable; the first clean block is.
+        assert all(cache.contains(key(index=i)) for i in range(4))
+        assert not cache.contains(key(index=4))
+
+    def test_all_dirty_cache_goes_over_capacity(self, cache):
+        for index in range(9):
+            cache.insert(key(index=index), bytearray(BS), dirty=True, now=0.0)
+        assert len(cache) == 9
+        assert cache.over_capacity()
+
+
+class TestWriteInto:
+    def test_matches_as_bytes_for_data(self, cache):
+        block = cache.insert(
+            key(), bytearray(b"\xabcd" * 64), dirty=False, now=0.0
+        )
+        out = bytearray(BS)
+        block.write_into(memoryview(out), BS)
+        assert bytes(out) == block.as_bytes(BS)
+
+    def test_matches_as_bytes_for_pointers(self, cache):
+        block = cache.insert(
+            key(kind=BlockKind.INDIRECT), list(range(BS // 8)), dirty=False, now=0.0
+        )
+        out = bytearray(BS)
+        block.write_into(memoryview(out), BS)
+        assert bytes(out) == block.as_bytes(BS)
+
+    def test_pads_stale_buffer_with_zeros(self, cache):
+        block = cache.insert(key(), bytearray(b"xy"), dirty=False, now=0.0)
+        out = bytearray(b"\xff" * BS)  # stale pooled buffer contents
+        block.write_into(memoryview(out), BS)
+        assert bytes(out[:2]) == b"xy"
+        assert not any(out[2:])

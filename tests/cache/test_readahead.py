@@ -1,0 +1,91 @@
+"""Unit tests for the sequential readahead policy."""
+
+import pytest
+
+from repro.cache.readahead import ReadaheadPolicy
+from repro.obs import Telemetry
+
+
+@pytest.fixture
+def policy() -> ReadaheadPolicy:
+    return ReadaheadPolicy(window_blocks=8)
+
+
+class TestSequentialDetection:
+    def test_first_touch_never_prefetches(self, policy):
+        assert policy.advise(1, 0, 15) == 0
+
+    def test_continuation_opens_the_window(self, policy):
+        policy.advise(1, 0, 3)
+        assert policy.advise(1, 4, 7) == 8
+        assert policy.stats.sequential_runs == 1
+
+    def test_large_first_access_is_not_a_stream(self, policy):
+        # A single big random chunk must not look sequential: the
+        # acceptance criterion is zero readahead hits on random reads.
+        assert policy.advise(1, 100, 131) == 0
+        assert policy.advise(1, 40, 71) == 0  # jump: still not a stream
+        assert policy.stats.sequential_runs == 0
+
+    def test_break_resets_detection(self, policy):
+        policy.advise(1, 0, 3)
+        assert policy.advise(1, 4, 7) == 8
+        assert policy.advise(1, 90, 93) == 0  # stream broke
+        assert policy.advise(1, 94, 97) == 8  # new continuation
+        assert policy.stats.sequential_runs == 2
+
+    def test_streams_are_per_inode(self, policy):
+        policy.advise(1, 0, 3)
+        policy.advise(2, 50, 53)
+        assert policy.advise(1, 4, 7) == 8
+        assert policy.advise(2, 54, 57) == 8
+
+
+class TestHitAccounting:
+    def test_prefetched_blocks_count_once(self, policy):
+        policy.advise(1, 0, 3)
+        assert policy.advise(1, 4, 7) == 8  # window covers 8..15
+        for lbn in range(8, 16):
+            policy.note_prefetched(1, lbn)
+        assert policy.stats.blocks_prefetched == 8
+        policy.advise(1, 8, 15)
+        assert policy.stats.hits == 8
+        policy.advise(1, 16, 23)  # same blocks never double-count
+        assert policy.stats.hits == 8
+
+    def test_break_forfeits_outstanding_prefetches(self, policy):
+        policy.advise(1, 0, 3)
+        policy.advise(1, 4, 7)
+        policy.note_prefetched(1, 8)
+        policy.advise(1, 50, 53)  # jump away before touching block 8
+        policy.advise(1, 54, 57)
+        policy.advise(1, 58, 61)
+        assert policy.stats.hits == 0
+
+    def test_telemetry_counter_mirrors_hits(self):
+        telemetry = Telemetry()
+        policy = ReadaheadPolicy(window_blocks=4, telemetry=telemetry)
+        policy.advise(1, 0, 1)
+        policy.advise(1, 2, 3)
+        policy.note_prefetched(1, 4)
+        policy.advise(1, 4, 5)
+        assert telemetry.registry.value("cache.readahead_hits") == 1
+        assert telemetry.registry.value("cache.readahead_prefetched") == 1
+
+
+class TestLifecycle:
+    def test_disabled_policy_is_inert(self):
+        policy = ReadaheadPolicy(window_blocks=0)
+        assert not policy.enabled
+        assert policy.advise(1, 0, 3) == 0
+        assert policy.advise(1, 4, 7) == 0
+        assert policy.stats.sequential_runs == 0
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            ReadaheadPolicy(window_blocks=-1)
+
+    def test_forget_drops_stream_state(self, policy):
+        policy.advise(1, 0, 3)
+        policy.forget(1)
+        assert policy.advise(1, 4, 7) == 0  # first touch again

@@ -116,6 +116,15 @@ class TestStats:
         assert delta.bytes_written == 4096
 
 
+    def test_vectored_reads_counted(self, disk):
+        disk.write(0, b"x" * 4096, sync=True)
+        disk.read(0, 8)
+        assert disk.vectored_reads == 0
+        disk.read(0, 8, vectored=True)
+        disk.read(8, 8, vectored=True)
+        assert disk.vectored_reads == 2
+
+
 class TestCrash:
     def test_crash_drops_inflight_async_write(self, disk, clock):
         disk.write(0, b"y" * 4096, sync=False)

@@ -86,7 +86,7 @@ class TestCrashDamage:
 
     def test_torn_write_keeps_prefix_only(self):
         device = self._crash_with(FaultConfig(torn_write_prob=1.0))
-        data = device.read(0, 8)
+        data = bytes(device.read(0, 8))
         assert device.injector.torn_writes == 1
         keep = data.count(b"B"[0]) // SECTOR_SIZE
         assert 1 <= keep < 8

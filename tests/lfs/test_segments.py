@@ -203,3 +203,56 @@ class TestSpaceManagement:
         manager.cleaner_mode = True
         manager.write_plan(planned(1, []))
         assert manager.cleaner_bytes_written == 2 * BS
+
+
+class TestSegmentBufferPool:
+    def test_first_acquire_allocates(self):
+        from repro.lfs.segments import SegmentBufferPool
+
+        pool = SegmentBufferPool(SEG)
+        buf = pool.acquire()
+        assert isinstance(buf, bytearray) and len(buf) == SEG
+        assert pool.allocations == 1 and pool.reuses == 0
+
+    def test_release_then_acquire_reuses_same_buffer(self):
+        from repro.lfs.segments import SegmentBufferPool
+
+        pool = SegmentBufferPool(SEG)
+        buf = pool.acquire()
+        pool.release(buf)
+        again = pool.acquire()
+        assert again is buf
+        assert pool.allocations == 1 and pool.reuses == 1
+
+    def test_wrong_size_and_excess_buffers_dropped(self):
+        from repro.lfs.segments import SegmentBufferPool
+
+        pool = SegmentBufferPool(SEG, max_buffers=1)
+        pool.release(bytearray(SEG - 1))  # wrong size: never pooled
+        assert pool.acquire() is not None and pool.reuses == 0
+        a, b = bytearray(SEG), bytearray(SEG)
+        pool.release(a)
+        pool.release(b)  # over max_buffers: dropped
+        assert pool.acquire() is a
+        assert pool.allocations == 1 and pool.reuses == 1
+
+    def test_telemetry_counts_reuse(self):
+        from repro.obs import Telemetry
+        from repro.lfs.segments import SegmentBufferPool
+
+        telemetry = Telemetry()
+        pool = SegmentBufferPool(SEG, telemetry=telemetry)
+        pool.release(pool.acquire())
+        pool.acquire()
+        assert (
+            telemetry.registry.value("alloc.segment_pool_reuse") == 1
+        )
+
+    def test_steady_state_stops_allocating(self, rig):
+        manager, usage, layout, disk = rig
+        for _ in range(6):
+            manager.write_plan(planned(4, []))
+        # Partial segments cycle through the pool: after the first
+        # assembly the writer never allocates another staging buffer.
+        assert manager.pool.allocations == 1
+        assert manager.pool.reuses >= 5

@@ -164,3 +164,43 @@ class TestServiceWallClock:
         source = "import time\n\nboot = time.time()  # noqa\n"
         path = write_module(tmp_path, "repro/service/ext.py", source)
         assert not any("SVC001" in m for _, _, m in lint_file(path))
+
+
+class TestHotPathAllocs:
+    def test_flags_bytes_copy_in_disk_module(self, tmp_path):
+        source = "def snap(view):\n    return bytes(view)\n"
+        path = write_module(tmp_path, "repro/disk/ext.py", source)
+        assert any("ALLOC001" in m for _, _, m in lint_file(path))
+
+    def test_flags_join_in_segment_writer(self, tmp_path):
+        source = "def assemble(parts):\n    return b''.join(parts)\n"
+        path = write_module(tmp_path, "repro/lfs/segments.py", source)
+        assert any("ALLOC001" in m for _, _, m in lint_file(path))
+
+    def test_empty_bytes_constructor_is_fine(self, tmp_path):
+        source = "def zeros(n):\n    return bytes(n) * 0 or bytes()\n"
+        path = write_module(tmp_path, "repro/lfs/other.py", source)
+        assert not any("ALLOC001" in m for _, _, m in lint_file(path))
+
+    def test_ignores_copies_outside_hot_paths(self, tmp_path):
+        source = "def snap(view):\n    return bytes(view)\n"
+        path = write_module(tmp_path, "repro/cache/ext.py", source)
+        assert not any("ALLOC001" in m for _, _, m in lint_file(path))
+
+    def test_alloc_ok_comment_suppresses_the_finding(self, tmp_path):
+        source = (
+            "def undo(view):\n"
+            "    return bytes(view)  # alloc-ok: crash snapshot\n"
+        )
+        path = write_module(tmp_path, "repro/disk/ext.py", source)
+        assert not any("ALLOC001" in m for _, _, m in lint_file(path))
+
+    def test_multiline_call_needs_marker_on_first_line(self, tmp_path):
+        source = (
+            "def undo(view):\n"
+            "    return bytes(  # alloc-ok: snapshot\n"
+            "        view\n"
+            "    )\n"
+        )
+        path = write_module(tmp_path, "repro/disk/ext.py", source)
+        assert not any("ALLOC001" in m for _, _, m in lint_file(path))
