@@ -26,10 +26,12 @@ lint:
 bench-smoke:
 	$(PYTHON) benchmarks/perf_harness.py --smoke --strict \
 		--min-cleaning-speedup 1.0 --min-seq-read-speedup 1.0 \
+		--min-checksum-speedup 1.0 --min-dispatch-speedup 1.0 \
 		--output /tmp/BENCH_smoke.json
 
-# Full gates: >=2x cleaning, >=1.2x seq_read, and no workload more
-# than 3% slower than the committed BENCH_hotpaths.json baseline.
+# Full gates: >=2x cleaning, >=1.2x seq_read, >=2x batch_checksum,
+# >=2x scheduler_dispatch, and no workload more than 3% slower than
+# the committed BENCH_hotpaths.json baseline.
 bench:
 	$(PYTHON) benchmarks/perf_harness.py --scale small --strict
 

@@ -14,7 +14,13 @@ the paper's metrics.  This harness times the **simulator itself**
   sequential reread (write path and read path in one workload);
 * ``cleaning`` — a cleaning-heavy pass over a fragmented log (the
   workload that hammers ``_pop_clean``, ``clean_count`` and the
-  checkpoint serialization paths).
+  checkpoint serialization paths);
+* ``batch_checksum`` — whole-segment CRC scans plus
+  summary/checkpoint/inode codec round-trips (the batch-serialization
+  engine vs the per-block CRC and Packer-per-field codecs);
+* ``scheduler_dispatch`` — timer dispatch under heavy same-timestamp
+  load plus a small multi-client service run (the bucketed clock vs the
+  per-timer ``(expiry, seq)`` heap).
 
 For each workload it can also re-run the *legacy* hot paths — the
 pre-optimization implementations (O(num_segments) usage-array scans,
@@ -59,9 +65,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import heapq
 import os
 import sys
 import time
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -75,13 +83,20 @@ if not any(
 from repro.cache.block_cache import BlockCache
 from repro.cache.readahead import ReadaheadPolicy
 from repro.cache.writeback import WritebackConfig
+from repro.common import serialization
 from repro.common.serialization import Packer, Unpacker, checksum
 from repro.disk.device import SectorDevice, _PendingWrite
 from repro.errors import CleanerError, CorruptionError
+from repro.lfs.checkpoint import CheckpointData
 from repro.lfs.cleaner import SegmentCleaner
-from repro.lfs.config import SUMMARY_MAGIC, LfsConfig
+from repro.lfs.config import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_REGION_BLOCKS,
+    SUMMARY_MAGIC,
+    LfsConfig,
+)
 from repro.lfs.filesystem import LogStructuredFS, make_lfs
-from repro.lfs.segments import SegmentManager
+from repro.lfs.segments import LogPosition, SegmentManager
 from repro.lfs.inode_map import IMAP_ENTRY_SIZE, ImapEntry, InodeMap
 from repro.lfs.segment_usage import (
     USAGE_ENTRY_SIZE,
@@ -90,8 +105,9 @@ from repro.lfs.segment_usage import (
     SegmentUsage,
 )
 from repro.lfs.summary import SegmentSummary, SummaryEntry
-from repro.common.inode import BlockKind
+from repro.common.inode import NIL, BlockKind, FileType, Inode, N_DIRECT
 from repro.obs import Telemetry
+from repro.sim.clock import SimClock
 from repro.tools import bench_report
 from repro.units import KIB, MIB
 
@@ -529,6 +545,175 @@ def _legacy_device_mark_durable(self, now):
     )
 
 
+def _legacy_segment_checksum(data, value=0):
+    # Pre-batch CRC: a fresh bytes copy and a checksum call per 4 KiB
+    # block.  Chaining makes the result identical to the whole-buffer
+    # CRC, so the before/after fingerprints still match.
+    view = memoryview(data)
+    crc = value
+    for offset in range(0, len(view), 4096):
+        crc = zlib.crc32(bytes(view[offset : offset + 4096]), crc)
+    return crc & 0xFFFFFFFF
+
+
+def _legacy_checkpoint_pack(self, region_bytes):
+    body = (
+        Packer()
+        .f64(self.timestamp)
+        .u64(self.position.sequence)
+        .u32(self.position.active_segment)
+        .u32(self.position.active_offset)
+        .u32(self.position.next_segment)
+        .u32(len(self.imap_addrs))
+        .u32(len(self.usage_addrs))
+    )
+    for addr in self.imap_addrs:
+        body.u64(addr)
+    for addr in self.usage_addrs:
+        body.u64(addr)
+    body_bytes = body.bytes()
+    if len(body_bytes) + 8 > region_bytes:
+        raise CorruptionError(
+            f"checkpoint needs {len(body_bytes) + 8} bytes, region "
+            f"holds {region_bytes}"
+        )
+    padded_body = body_bytes + b"\x00" * (region_bytes - 8 - len(body_bytes))
+    header = Packer().u32(CHECKPOINT_MAGIC).u32(checksum(padded_body))
+    return header.bytes() + padded_body
+
+
+def _legacy_checkpoint_unpack(cls, data):
+    from repro.errors import ChecksumMismatch
+
+    unpacker = Unpacker(data)
+    magic = unpacker.u32()
+    if magic != CHECKPOINT_MAGIC:
+        raise CorruptionError(f"bad checkpoint magic 0x{magic:08x}")
+    crc = unpacker.u32()
+    if checksum(data[unpacker.offset :]) != crc:
+        raise ChecksumMismatch("checkpoint checksum mismatch")
+    timestamp = unpacker.f64()
+    sequence = unpacker.u64()
+    active_segment = unpacker.u32()
+    active_offset = unpacker.u32()
+    next_segment = unpacker.u32()
+    n_imap = unpacker.u32()
+    n_usage = unpacker.u32()
+    imap_addrs = [unpacker.u64() for _ in range(n_imap)]
+    usage_addrs = [unpacker.u64() for _ in range(n_usage)]
+    return cls(
+        timestamp=timestamp,
+        position=LogPosition(
+            active_segment=active_segment,
+            active_offset=active_offset,
+            next_segment=next_segment,
+            sequence=sequence,
+        ),
+        imap_addrs=imap_addrs,
+        usage_addrs=usage_addrs,
+    )
+
+
+def _legacy_inode_pack(self):
+    from repro.common.inode import INODE_SIZE
+
+    packer = (
+        Packer()
+        .u32(self.inum)
+        .u8(int(self.ftype))
+        .u16(self.nlink)
+        .u64(self.size)
+        .f64(self.mtime)
+        .f64(self.ctime)
+        .f64(self.atime)
+    )
+    for addr in self.direct:
+        packer.u64(addr)
+    packer.u64(self.indirect)
+    packer.u64(self.dindirect)
+    data = packer.bytes()
+    if len(data) > INODE_SIZE:
+        raise AssertionError(f"inode packs to {len(data)} > {INODE_SIZE}")
+    return data + b"\x00" * (INODE_SIZE - len(data))
+
+
+def _legacy_inode_unpack(cls, data):
+    unpacker = Unpacker(data)
+    inum = unpacker.u32()
+    raw_type = unpacker.u8()
+    try:
+        ftype = FileType(raw_type)
+    except ValueError as exc:
+        raise CorruptionError(f"bad inode file type {raw_type}") from exc
+    nlink = unpacker.u16()
+    size = unpacker.u64()
+    mtime = unpacker.f64()
+    ctime = unpacker.f64()
+    atime = unpacker.f64()
+    direct = [unpacker.u64() for _ in range(N_DIRECT)]
+    indirect = unpacker.u64()
+    dindirect = unpacker.u64()
+    return cls(
+        inum=inum,
+        ftype=ftype,
+        nlink=nlink,
+        size=size,
+        mtime=mtime,
+        ctime=ctime,
+        atime=atime,
+        direct=direct,
+        indirect=indirect,
+        dindirect=dindirect,
+    )
+
+
+# The pre-batch SimClock: one (expiry, seq) heap entry per timer, one
+# O(log n) sift per schedule and per fire — no same-timestamp batching.
+# FIFO order for equal expiries comes from the monotonic seq tiebreaker,
+# so simulated results are identical to the bucketed clock's.
+
+
+def _legacy_clock_init(self, start=0.0):
+    if start < 0:
+        raise ValueError(f"clock cannot start before zero: {start}")
+    self._now = float(start)
+    self._timers = []
+    self._timer_seq = 0
+    self._ntimers = 0  # keeps __repr__ working; unused otherwise
+    self.timer_batches = 0
+    self.timers_fired = 0
+
+
+def _legacy_clock_advance_to(self, t):
+    if t <= self._now:
+        return self._now
+    while self._timers and self._timers[0][0] <= t:
+        expiry, _seq, callback = heapq.heappop(self._timers)
+        self._now = max(self._now, expiry)
+        self.timer_batches += 1
+        self.timers_fired += 1
+        callback()
+    self._now = max(self._now, t)
+    return self._now
+
+
+def _legacy_clock_call_at(self, t, callback):
+    self._timer_seq += 1
+    heapq.heappush(self._timers, (float(t), self._timer_seq, callback))
+
+
+def _legacy_clock_next_timer_at(self):
+    return self._timers[0][0] if self._timers else None
+
+
+def _legacy_clock_cancel_all(self):
+    self._timers.clear()
+
+
+def _legacy_clock_pending(self):
+    return len(self._timers)
+
+
 def _legacy_patches():
     return [
         (SegmentUsage, "clean_segments", _legacy_usage_clean_segments),
@@ -558,6 +743,17 @@ def _legacy_patches():
         (SegmentCleaner, "_relocate_live_blocks", _legacy_relocate_live_blocks),
         (ReadaheadPolicy, "advise", _legacy_readahead_advise),
         (BlockCache, "_evict_to_capacity", _legacy_cache_evict_to_capacity),
+        (serialization, "segment_checksum", _legacy_segment_checksum),
+        (CheckpointData, "pack", _legacy_checkpoint_pack),
+        (CheckpointData, "unpack", classmethod(_legacy_checkpoint_unpack)),
+        (Inode, "pack", _legacy_inode_pack),
+        (Inode, "unpack", classmethod(_legacy_inode_unpack)),
+        (SimClock, "__init__", _legacy_clock_init),
+        (SimClock, "advance_to", _legacy_clock_advance_to),
+        (SimClock, "call_at", _legacy_clock_call_at),
+        (SimClock, "next_timer_at", _legacy_clock_next_timer_at),
+        (SimClock, "cancel_all_timers", _legacy_clock_cancel_all),
+        (SimClock, "pending_timers", _legacy_clock_pending),
     ]
 
 
@@ -592,11 +788,12 @@ def _fresh_fs(
 
 def wl_small_file(
     scale: Scale, telemetry: Optional[Telemetry] = None
-) -> Tuple[float, int, float, Dict[str, Any]]:
+) -> Tuple[float, int, float, Dict[str, Any], float]:
     from repro.workloads.smallfile import run_small_file_test
 
     fs = _fresh_fs(scale, telemetry)
     sim_start = fs.clock.now()
+    cpu_start = time.process_time()
     wall_start = time.perf_counter()
     result = run_small_file_test(
         fs,
@@ -605,6 +802,7 @@ def wl_small_file(
         verify=True,
     )
     wall = time.perf_counter() - wall_start
+    cpu = time.process_time() - cpu_start
     simulated = fs.clock.now() - sim_start
     fingerprint = {
         "create_seconds": result.create_seconds,
@@ -612,12 +810,12 @@ def wl_small_file(
         "delete_seconds": result.delete_seconds,
         "log_bytes_written": fs.segments.log_bytes_written,
     }
-    return wall, 3 * scale.small_files, simulated, fingerprint
+    return wall, 3 * scale.small_files, simulated, fingerprint, cpu
 
 
 def wl_large_file_random_write(
     scale: Scale, telemetry: Optional[Telemetry] = None
-) -> Tuple[float, int, float, Dict[str, Any]]:
+) -> Tuple[float, int, float, Dict[str, Any], float]:
     import random
 
     fs = _fresh_fs(scale, telemetry)
@@ -633,18 +831,20 @@ def wl_large_file_random_write(
         rng.randrange(n_requests) * request for _ in range(n_requests)
     ]
     sim_start = fs.clock.now()
+    cpu_start = time.process_time()
     wall_start = time.perf_counter()
     for offset in offsets:
         handle.pwrite(offset, payload)
     fs.sync()
     wall = time.perf_counter() - wall_start
+    cpu = time.process_time() - cpu_start
     simulated = fs.clock.now() - sim_start
     handle.close()
     fingerprint = {
         "simulated_seconds": simulated,
         "log_bytes_written": fs.segments.log_bytes_written,
     }
-    return wall, n_requests, simulated, fingerprint
+    return wall, n_requests, simulated, fingerprint, cpu
 
 
 def _readahead_config(scale: Scale) -> LfsConfig:
@@ -681,9 +881,7 @@ def _check_readahead(fs: LogStructuredFS) -> None:
 
 def wl_seq_read(
     scale: Scale, telemetry: Optional[Telemetry] = None
-) -> Tuple[float, int, float, Dict[str, Any]]:
-    import zlib
-
+) -> Tuple[float, int, float, Dict[str, Any], float]:
     fs = make_lfs(
         total_bytes=scale.disk_bytes,
         config=_readahead_config(scale),
@@ -695,6 +893,7 @@ def wl_seq_read(
     bytes_read = 0
     ops = 0
     sim_start = fs.clock.now()
+    cpu_start = time.process_time()
     wall_start = time.perf_counter()
     for _ in range(2):  # two passes: the cache cannot hold the file
         for index in range(nchunks):
@@ -703,6 +902,7 @@ def wl_seq_read(
             bytes_read += len(data)
             ops += 1
     wall = time.perf_counter() - wall_start
+    cpu = time.process_time() - cpu_start
     simulated = fs.clock.now() - sim_start
     handle.close()
     _check_readahead(fs)
@@ -713,14 +913,13 @@ def wl_seq_read(
         "data_crc32": crc,
         "log_bytes_written": fs.segments.log_bytes_written,
     }
-    return wall, ops, simulated, fingerprint
+    return wall, ops, simulated, fingerprint, cpu
 
 
 def wl_seq_reread_random_write(
     scale: Scale, telemetry: Optional[Telemetry] = None
-) -> Tuple[float, int, float, Dict[str, Any]]:
+) -> Tuple[float, int, float, Dict[str, Any], float]:
     import random
-    import zlib
 
     fs = make_lfs(
         total_bytes=scale.disk_bytes,
@@ -739,6 +938,7 @@ def wl_seq_reread_random_write(
     crc = 0
     bytes_read = 0
     sim_start = fs.clock.now()
+    cpu_start = time.process_time()
     wall_start = time.perf_counter()
     for offset in offsets:  # random overwrites (the pooled write path)
         handle.pwrite(offset, payload)
@@ -748,6 +948,7 @@ def wl_seq_reread_random_write(
         crc = zlib.crc32(data, crc)
         bytes_read += len(data)
     wall = time.perf_counter() - wall_start
+    cpu = time.process_time() - cpu_start
     simulated = fs.clock.now() - sim_start
     handle.close()
     _check_readahead(fs)
@@ -756,7 +957,7 @@ def wl_seq_reread_random_write(
         "data_crc32": crc,
         "log_bytes_written": fs.segments.log_bytes_written,
     }
-    return wall, len(offsets) + nchunks, simulated, fingerprint
+    return wall, len(offsets) + nchunks, simulated, fingerprint, cpu
 
 
 def _fragment_log(fs: LogStructuredFS, scale: Scale) -> int:
@@ -790,14 +991,16 @@ def _fragment_log(fs: LogStructuredFS, scale: Scale) -> int:
 
 def wl_cleaning(
     scale: Scale, telemetry: Optional[Telemetry] = None
-) -> Tuple[float, int, float, Dict[str, Any]]:
+) -> Tuple[float, int, float, Dict[str, Any], float]:
     fs = _fresh_fs(scale, telemetry)
     _fragment_log(fs, scale)
     sim_start = fs.clock.now()
+    cpu_start = time.process_time()
     wall_start = time.perf_counter()
     cleaned = fs.clean_now(fs.layout.num_segments)
     fs.disk.drain()
     wall = time.perf_counter() - wall_start
+    cpu = time.process_time() - cpu_start
     simulated = fs.clock.now() - sim_start
     fingerprint = {
         "segments_cleaned": cleaned,
@@ -807,15 +1010,194 @@ def wl_cleaning(
     }
     # Stash the instance so probes can inspect counters (after-mode only).
     wl_cleaning.last_fs = fs  # type: ignore[attr-defined]
-    return wall, max(1, cleaned), simulated, fingerprint
+    return wall, max(1, cleaned), simulated, fingerprint, cpu
 
 
-WORKLOADS: Dict[str, Callable[..., Tuple[float, int, float, Dict[str, Any]]]] = {
+def _codec_fixture(scale: Scale):
+    """Deterministic serialization fixture shared by both legs."""
+    import random
+
+    rng = random.Random(0x5E6_C0DE)
+    bs = 4 * KIB
+    entries = []
+    for i in range(scale.segment_bytes // bs - 1):
+        if i % 8 == 0:
+            entries.append(
+                SummaryEntry(
+                    kind=BlockKind.INODE,
+                    inum=0,
+                    index=i,
+                    version=i,
+                    inums=tuple(
+                        rng.randrange(1, 16384) for _ in range(4)
+                    ),
+                )
+            )
+        else:
+            entries.append(
+                SummaryEntry(
+                    kind=BlockKind.DATA,
+                    inum=rng.randrange(1, 16384),
+                    index=i,
+                    version=i & 0xFFFF,
+                )
+            )
+    summary = SegmentSummary(
+        seq=7, timestamp=123.5, next_segment_block=999, entries=entries
+    )
+    checkpoint = CheckpointData(
+        timestamp=321.25,
+        position=LogPosition(
+            active_segment=3, active_offset=9, next_segment=4, sequence=77
+        ),
+        imap_addrs=[rng.randrange(1, 1 << 40) for _ in range(1024)],
+        usage_addrs=[rng.randrange(1, 1 << 40) for _ in range(1024)],
+    )
+    inodes = [
+        Inode(
+            inum=i + 2,
+            ftype=FileType.REGULAR,
+            nlink=1,
+            size=rng.randrange(0, 1 << 24),
+            mtime=float(i),
+            ctime=float(i) / 2,
+            atime=0.0,
+            direct=[rng.randrange(0, 1 << 32) for _ in range(N_DIRECT)],
+            indirect=rng.randrange(0, 1 << 32),
+            dindirect=NIL,
+        )
+        for i in range(48)
+    ]
+    return summary, checkpoint, inodes
+
+
+def wl_batch_checksum(
+    scale: Scale, telemetry: Optional[Telemetry] = None
+) -> Tuple[float, int, float, Dict[str, Any], float]:
+    """Whole-segment CRC scans plus codec round-trips.
+
+    The legacy leg patches back the per-4-KiB-block CRC and the
+    Packer-per-field summary/checkpoint/inode codecs; both legs produce
+    identical bytes, so one running CRC over everything serialized is
+    the cross-leg fingerprint.
+    """
+    import random
+
+    rng = random.Random(0xBA7C4)
+    bs = 4 * KIB
+    region_bytes = CHECKPOINT_REGION_BLOCKS * bs
+    nsegments = max(4, scale.clean_fill_segments // 8)
+    views = [
+        memoryview(rng.randbytes(scale.segment_bytes))
+        for _ in range(nsegments)
+    ]
+    summary, checkpoint, inodes = _codec_fixture(scale)
+    scan_rounds = max(2, scale.clean_fill_segments // 4)
+    codec_rounds = max(8, scale.clean_fill_segments // 4)
+    crc = 0
+    ops = 0
+    cpu_start = time.process_time()
+    wall_start = time.perf_counter()
+    for _ in range(scan_rounds):
+        for view in views:
+            crc = serialization.segment_checksum(view, crc)
+            ops += 1
+    for _ in range(codec_rounds):
+        packed = summary.pack(bs)
+        crc = zlib.crc32(packed, crc)
+        restored = SegmentSummary.unpack(packed, bs)
+        if len(restored.entries) != len(summary.entries):
+            raise AssertionError("summary round-trip lost entries")
+        region = checkpoint.pack(region_bytes)
+        crc = zlib.crc32(region, crc)
+        CheckpointData.unpack(region)
+        for inode in inodes:
+            blob = inode.pack()
+            crc = zlib.crc32(blob, crc)
+            Inode.unpack(blob)
+        ops += 2 + len(inodes)
+    wall = time.perf_counter() - wall_start
+    cpu = time.process_time() - cpu_start
+    fingerprint = {
+        "crc32": crc,
+        "segment_bytes_scanned": scan_rounds * nsegments * scale.segment_bytes,
+        "ops": ops,
+    }
+    return wall, ops, 0.0, fingerprint, cpu
+
+
+def wl_scheduler_dispatch(
+    scale: Scale, telemetry: Optional[Telemetry] = None
+) -> Tuple[float, int, float, Dict[str, Any], float]:
+    """Timer dispatch under heavy same-timestamp load.
+
+    Phase 1 is the shape the service scheduler produces — hundreds of
+    events landing on each instant, drained through the
+    ``advance_to(next_timer_at())`` event-loop idiom, plus a
+    same-instant rescheduling chain.  Phase 2 is a small real
+    multi-client service run on the same clock.  The legacy leg patches
+    back the per-timer ``(expiry, seq)`` heap; FIFO tie-breaking is
+    identical in both, so the fingerprints match.
+    """
+    from repro.service.config import ServiceConfig
+    from repro.service.scheduler import simulate_service
+
+    timestamps = scale.clean_fill_segments * 8
+    per_timestamp = 64
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+
+    clock = SimClock()
+    chain = [timestamps * per_timestamp // 8]
+
+    def reschedule() -> None:
+        fired[0] += 1
+        if chain[0] > 0:
+            chain[0] -= 1
+            clock.call_at(clock.now(), reschedule)
+
+    config = ServiceConfig(
+        num_clients=4,
+        seed=0,
+        requests_per_client=10 if scale.name == "smoke" else 30,
+    )
+    cpu_start = time.process_time()
+    wall_start = time.perf_counter()
+    for t in range(1, timestamps + 1):
+        at = float(t)
+        for _ in range(per_timestamp):
+            clock.call_at(at, tick)
+    clock.call_at(float(timestamps + 1), reschedule)
+    while clock.pending_timers():
+        clock.advance_to(clock.next_timer_at())
+    stats, fs = simulate_service(
+        config, total_bytes=32 * MIB, telemetry=telemetry
+    )
+    fs.unmount()
+    wall = time.perf_counter() - wall_start
+    cpu = time.process_time() - cpu_start
+    simulated = clock.now() + fs.clock.now()
+    ops = fired[0] + config.num_clients * config.requests_per_client
+    fingerprint = {
+        "timers_fired": fired[0],
+        "clock_now": clock.now(),
+        "service": stats.to_dict(),
+    }
+    return wall, ops, simulated, fingerprint, cpu
+
+
+WORKLOADS: Dict[
+    str, Callable[..., Tuple[float, int, float, Dict[str, Any], float]]
+] = {
     "small_file": wl_small_file,
     "large_file_random_write": wl_large_file_random_write,
     "seq_read": wl_seq_read,
     "seq_reread_random_write": wl_seq_reread_random_write,
     "cleaning": wl_cleaning,
+    "batch_checksum": wl_batch_checksum,
+    "scheduler_dispatch": wl_scheduler_dispatch,
 }
 
 
@@ -872,17 +1254,47 @@ class _Leg:
     """Best-of-N accumulator for one (workload, mode) pair."""
 
     def __init__(self) -> None:
-        self.best: Optional[Tuple[float, int, float]] = None
+        self.best: Optional[Tuple[float, int, float, Optional[float]]] = None
         self.fingerprint: Dict[str, Any] = {}
 
-    def add(self, wall: float, ops: int, simulated: float, fp: Dict[str, Any]):
+    def add(
+        self,
+        wall: float,
+        ops: int,
+        simulated: float,
+        fp: Dict[str, Any],
+        cpu: Optional[float] = None,
+    ):
         if self.best is None or wall < self.best[0]:
-            self.best = (wall, ops, simulated)
+            self.best = (wall, ops, simulated, cpu)
         self.fingerprint = fp
 
     def entry(self) -> Dict[str, Any]:
         assert self.best is not None
-        return bench_report.workload_entry(*self.best)
+        wall, ops, simulated, cpu = self.best
+        return bench_report.workload_entry(wall, ops, simulated, cpu)
+
+
+def _leg_task(scale_name: str, workload_name: str, mode: str):
+    """One timed leg; module-level so ``--jobs`` can farm it out.
+
+    Returns ``(workload result tuple, probes-or-None)``.  The O(1)
+    probes must run here — in the process that just ran the cleaning
+    workload — because the live file system cannot cross a process
+    boundary.
+    """
+    scale = SCALES[scale_name]
+    workload = WORKLOADS[workload_name]
+    if mode == "before":
+        with legacy_hot_paths():
+            return workload(scale), None
+    if mode == "telemetry":
+        return workload(scale, telemetry=Telemetry()), None
+    result = workload(scale)
+    probes = None
+    if workload_name == "cleaning":
+        probes = run_probes(wl_cleaning.last_fs)  # type: ignore[attr-defined]
+    return result, probes
 
 
 def run_harness(
@@ -890,35 +1302,65 @@ def run_harness(
     compare_legacy: bool,
     min_cleaning_speedup: float,
     min_seq_read_speedup: float = 0.0,
+    min_checksum_speedup: float = 0.0,
+    min_dispatch_speedup: float = 0.0,
+    jobs: int = 1,
 ) -> Dict[str, Any]:
     workloads: Dict[str, Dict[str, Any]] = {}
     checks: Dict[str, bool] = {}
     identical = True
     telemetry_identical = True
-    probe_fs: Optional[LogStructuredFS] = None
 
-    for name, workload in WORKLOADS.items():
-        after, before, tele = _Leg(), _Leg(), _Leg()
+    # Build the full leg list up front.  Within a repeat the run order
+    # alternates: in-process warm-up (allocator, page cache) favors
+    # whichever leg runs later, so interleaving keeps comparisons honest.
+    legs = []
+    for name in WORKLOADS:
         for repeat in range(scale.repeats):
-            # Alternate the run order each repeat: in-process warm-up
-            # (allocator, page cache) favors whichever leg runs later,
-            # so interleaving keeps the comparisons honest.
             modes = ["after", "before", "telemetry"]
             if repeat % 2:
                 modes.reverse()
             for mode in modes:
                 if mode == "before" and not compare_legacy:
                     continue
-                print(f"[perf] {name} ({mode}, run {repeat + 1}) ...", flush=True)
-                if mode == "before":
-                    with legacy_hot_paths():
-                        before.add(*workload(scale))
-                elif mode == "telemetry":
-                    tele.add(*workload(scale, telemetry=Telemetry()))
-                else:
-                    after.add(*workload(scale))
-                    if name == "cleaning":
-                        probe_fs = wl_cleaning.last_fs  # type: ignore[attr-defined]
+                legs.append((name, mode, repeat))
+
+    if jobs > 1:
+        # Parallel legs share the machine, so wall-clock minima are
+        # noisier than a sequential run: use --jobs for fingerprint /
+        # identity verification and CI smoke, not for gate-quality
+        # numbers.
+        from repro.harness.parallel import run_tasks
+
+        print(
+            f"[perf] running {len(legs)} legs across {jobs} processes ...",
+            flush=True,
+        )
+        outcomes = run_tasks(
+            _leg_task,
+            [(scale.name, name, mode) for name, mode, _ in legs],
+            jobs=jobs,
+        )
+    else:
+        outcomes = []
+        for name, mode, repeat in legs:
+            print(f"[perf] {name} ({mode}, run {repeat + 1}) ...", flush=True)
+            outcomes.append(_leg_task(scale.name, name, mode))
+
+    acc: Dict[str, Dict[str, _Leg]] = {
+        name: {"after": _Leg(), "before": _Leg(), "telemetry": _Leg()}
+        for name in WORKLOADS
+    }
+    probes: Optional[Dict[str, Any]] = None
+    for (name, mode, _repeat), (result, leg_probes) in zip(legs, outcomes):
+        acc[name][mode].add(*result)
+        if leg_probes is not None:
+            probes = leg_probes
+
+    for name in WORKLOADS:
+        after = acc[name]["after"]
+        before = acc[name]["before"]
+        tele = acc[name]["telemetry"]
         entry: Dict[str, Any] = {"after": after.entry()}
         entry["telemetry_on"] = tele.entry()
         entry["telemetry_overhead"] = round(
@@ -946,9 +1388,9 @@ def run_harness(
                     file=sys.stderr,
                 )
 
-    # probe_fs is the file system from the last optimized-mode cleaning
-    # run — the probes assert the O(1) invariants against it.
-    probes = run_probes(probe_fs)
+    # ``probes`` came from an optimized-mode cleaning leg (asserted in
+    # the process that ran it — see _leg_task).
+    assert probes is not None, "no after-mode cleaning leg ran"
     checks["o1_probes"] = True  # run_probes asserts
     checks["telemetry_results_identical"] = telemetry_identical
     if compare_legacy:
@@ -962,6 +1404,12 @@ def run_harness(
         for wl_name, check_name, target in (
             ("cleaning", "cleaning_speedup_ok", min_cleaning_speedup),
             ("seq_read", "seq_read_speedup_ok", min_seq_read_speedup),
+            ("batch_checksum", "batch_checksum_speedup_ok", min_checksum_speedup),
+            (
+                "scheduler_dispatch",
+                "scheduler_dispatch_speedup_ok",
+                min_dispatch_speedup,
+            ),
         ):
             speedup = report["workloads"][wl_name].get("speedup", 0.0)
             checks[check_name] = speedup >= target
@@ -1035,6 +1483,22 @@ def main(argv=None) -> int:
         "(default 1.2; only with the legacy leg)",
     )
     parser.add_argument(
+        "--min-checksum-speedup", type=float, default=2.0,
+        help="fail if the batch_checksum workload speedup is below this "
+        "(default 2.0; only with the legacy leg)",
+    )
+    parser.add_argument(
+        "--min-dispatch-speedup", type=float, default=2.0,
+        help="fail if the scheduler_dispatch workload speedup is below "
+        "this (default 2.0; only with the legacy leg)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the timed legs; parallel legs share "
+        "the machine, so use for identity verification and CI smoke, "
+        "not for gate-quality wall-clock numbers (default 1)",
+    )
+    parser.add_argument(
         "--output", default=os.path.join(_REPO_ROOT, "BENCH_hotpaths.json"),
         help="report path (default: BENCH_hotpaths.json at the repo root)",
     )
@@ -1060,6 +1524,9 @@ def main(argv=None) -> int:
         compare_legacy=args.legacy,
         min_cleaning_speedup=args.min_cleaning_speedup,
         min_seq_read_speedup=args.min_seq_read_speedup,
+        min_checksum_speedup=args.min_checksum_speedup,
+        min_dispatch_speedup=args.min_dispatch_speedup,
+        jobs=args.jobs,
     )
     # Load the baseline before write_report can overwrite it in place.
     apply_baseline_check(report, args.baseline, args.baseline_tolerance)

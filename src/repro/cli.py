@@ -347,6 +347,7 @@ def cmd_crashtest(args) -> int:
         telemetry=telemetry,
         device_bytes=args.size,
         log=print if args.verbose else None,
+        jobs=args.jobs,
     )
     print(report.render())
     if telemetry is not None:
@@ -473,6 +474,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--size", type=_parse_size, default=24 * MIB)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the trials (report is byte-identical "
+        "for any value)",
+    )
     p.add_argument(
         "--verbose", action="store_true", help="print a line per trial"
     )

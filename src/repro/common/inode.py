@@ -17,10 +17,10 @@ callbacks for loading and dirtying pointer blocks, keyed by
 from __future__ import annotations
 
 import enum
+import struct
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Tuple
+from typing import Callable, Iterator, List, Tuple, Union
 
-from repro.common.serialization import Packer, Unpacker
 from repro.errors import CorruptionError, InvalidArgumentError
 
 NIL = 0
@@ -31,6 +31,14 @@ N_DIRECT = 12
 
 INODE_SIZE = 160
 """Serialized inode size in bytes (power-of-two-friendly packing)."""
+
+# The whole inode record as one precompiled layout: inum, ftype, nlink,
+# size, mtime/ctime/atime, 12 direct + indirect + dindirect addresses.
+# "<" packs without alignment padding, so this is byte-for-byte the old
+# field-at-a-time Packer output; an inode (un)packs in a single call.
+_INODE_RECORD = struct.Struct("<IBHQ3d14Q")
+assert _INODE_RECORD.size <= INODE_SIZE
+_INODE_PAD = b"\x00" * (INODE_SIZE - _INODE_RECORD.size)
 
 
 def pointers_per_block(block_size: int) -> int:
@@ -107,42 +115,48 @@ class Inode:
         return (self.size + block_size - 1) // block_size
 
     def pack(self) -> bytes:
-        packer = (
-            Packer()
-            .u32(self.inum)
-            .u8(int(self.ftype))
-            .u16(self.nlink)
-            .u64(self.size)
-            .f64(self.mtime)
-            .f64(self.ctime)
-            .f64(self.atime)
+        out = bytearray(INODE_SIZE)
+        self.pack_into(out, 0)
+        return bytes(out)
+
+    def pack_into(self, buffer: Union[bytearray, memoryview], offset: int) -> int:
+        """Serialize into ``buffer`` at ``offset``; returns INODE_SIZE.
+
+        One ``pack_into`` call for the whole record, plus an explicit
+        zero of the padding tail (the segment writer's pooled buffers
+        are reused, so stale bytes must be overwritten).
+        """
+        buffer[offset + _INODE_RECORD.size : offset + INODE_SIZE] = _INODE_PAD
+        _INODE_RECORD.pack_into(
+            buffer,
+            offset,
+            self.inum,
+            int(self.ftype),
+            self.nlink,
+            self.size,
+            self.mtime,
+            self.ctime,
+            self.atime,
+            *self.direct,
+            self.indirect,
+            self.dindirect,
         )
-        for addr in self.direct:
-            packer.u64(addr)
-        packer.u64(self.indirect)
-        packer.u64(self.dindirect)
-        data = packer.bytes()
-        if len(data) > INODE_SIZE:
-            raise AssertionError(f"inode packs to {len(data)} > {INODE_SIZE}")
-        return data + b"\x00" * (INODE_SIZE - len(data))
+        return INODE_SIZE
 
     @classmethod
-    def unpack(cls, data: bytes) -> "Inode":
-        unpacker = Unpacker(data)
-        inum = unpacker.u32()
-        raw_type = unpacker.u8()
+    def unpack(cls, data: Union[bytes, memoryview]) -> "Inode":
+        try:
+            fields = _INODE_RECORD.unpack_from(data)
+        except struct.error as exc:
+            raise CorruptionError(f"truncated inode: {exc}") from exc
+        inum, raw_type, nlink, size, mtime, ctime, atime = fields[:7]
         try:
             ftype = FileType(raw_type)
         except ValueError as exc:
             raise CorruptionError(f"bad inode file type {raw_type}") from exc
-        nlink = unpacker.u16()
-        size = unpacker.u64()
-        mtime = unpacker.f64()
-        ctime = unpacker.f64()
-        atime = unpacker.f64()
-        direct = [unpacker.u64() for _ in range(N_DIRECT)]
-        indirect = unpacker.u64()
-        dindirect = unpacker.u64()
+        direct = list(fields[7 : 7 + N_DIRECT])
+        indirect = fields[7 + N_DIRECT]
+        dindirect = fields[8 + N_DIRECT]
         return cls(
             inum=inum,
             ftype=ftype,

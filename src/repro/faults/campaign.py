@@ -270,19 +270,67 @@ def _execute_trial(
     result.outcome = "detected" if result.signals else "clean"
 
 
+def _trial_worker(
+    trial: int, seed: int, device_bytes: int, with_telemetry: bool
+):
+    """Run one trial in a worker process.
+
+    Each worker records into its own fresh :class:`Telemetry` (live
+    instrument objects cannot be shared across processes) and ships the
+    exported counter samples home for an order-independent merge.
+    """
+    telemetry = Telemetry() if with_telemetry else None
+    result = run_trial(
+        trial, seed, telemetry=telemetry, device_bytes=device_bytes
+    )
+    samples = (
+        telemetry.registry.to_dict()["metrics"] if telemetry is not None else None
+    )
+    return result, samples
+
+
 def run_campaign(
     trials: int = 50,
     seed: int = 0,
     telemetry: Optional[Telemetry] = None,
     device_bytes: int = DEFAULT_DEVICE_BYTES,
     log=None,
+    jobs: int = 1,
 ) -> CampaignReport:
-    """Run ``trials`` independent seeded trials and aggregate the report."""
+    """Run ``trials`` independent seeded trials and aggregate the report.
+
+    ``jobs > 1`` farms the trials across worker processes via
+    :func:`repro.harness.parallel.run_tasks`.  Trial *i* of seed *s* is
+    deterministic and self-contained, and aggregation (totals, log
+    lines, telemetry merge) always happens in trial order, so the
+    report — and the rendered output — is byte-identical for any
+    ``jobs`` value.
+    """
+    from repro.harness.parallel import merge_metric_samples, run_tasks
+
     report = CampaignReport(seed=seed)
-    for trial in range(trials):
-        result = run_trial(
-            trial, seed, telemetry=telemetry, device_bytes=device_bytes
+    if jobs > 1:
+        outcomes = run_tasks(
+            _trial_worker,
+            [
+                (trial, seed, device_bytes, telemetry is not None)
+                for trial in range(trials)
+            ],
+            jobs=jobs,
         )
+        results = []
+        for result, samples in outcomes:
+            results.append(result)
+            if telemetry is not None and samples is not None:
+                merge_metric_samples(telemetry, samples)
+    else:
+        results = [
+            run_trial(
+                trial, seed, telemetry=telemetry, device_bytes=device_bytes
+            )
+            for trial in range(trials)
+        ]
+    for trial, result in enumerate(results):
         report.trials.append(result)
         report.torn_writes += result.faults.get("torn_writes", 0)
         report.bit_flips += result.faults.get("bit_flips", 0)

@@ -15,6 +15,11 @@ from repro.harness.experiments import (
     sec31_cpu_scaling,
     write_cost_comparison,
 )
+from repro.harness.parallel import (
+    available_jobs,
+    merge_metric_samples,
+    run_tasks,
+)
 
 __all__ = [
     "Rig",
@@ -30,4 +35,7 @@ __all__ = [
     "ablation_cleaner_policy",
     "ablation_disk_array",
     "write_cost_comparison",
+    "available_jobs",
+    "merge_metric_samples",
+    "run_tasks",
 ]

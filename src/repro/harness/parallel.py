@@ -1,0 +1,114 @@
+"""Deterministic fan-out of independent seeded rigs across processes.
+
+Every heavyweight rig in this repository — a ``repro crashtest`` trial,
+a :mod:`repro.service.bench` sweep point, a perf-harness leg — is an
+*independent, seeded* simulation: it builds its own clock, device and
+file system, and its result is a pure function of its arguments.  That
+makes them embarrassingly parallel, and :func:`run_tasks` is the one
+place that parallelism lives.
+
+The contract is strict determinism: ``run_tasks`` returns results in
+**task order**, regardless of worker count or completion order, and
+``jobs=1`` runs the plain in-process loop (no pool, no pickling — the
+seeded default).  Callers that aggregate must consume the returned list
+in order; then the merged report is byte-identical for any ``jobs``.
+
+Workers fork on platforms that support it (the rigs' modules are
+already imported, so fork is both faster and keeps ``__main__``-defined
+workers picklable); elsewhere the spawn context is used and workers
+must be module-level functions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["available_jobs", "run_tasks", "merge_metric_samples"]
+
+
+def available_jobs(requested: int) -> int:
+    """Advisory clamp of a ``--jobs`` request to the machine's CPU count.
+
+    :func:`run_tasks` deliberately does *not* apply this clamp — an
+    explicit ``--jobs 4`` forks four workers even on a smaller machine
+    (oversubscription only timeslices; results are identical either
+    way, and the pool path stays exercisable everywhere).  Use this
+    helper when picking a default job count, not when honouring an
+    explicit request.
+    """
+    if requested < 1:
+        raise ValueError(f"jobs must be >= 1: {requested}")
+    return min(requested, os.cpu_count() or 1)
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork (e.g. Windows)
+        return multiprocessing.get_context("spawn")
+
+
+def run_tasks(
+    worker: Callable[..., Any],
+    tasks: Sequence[Tuple[Any, ...]],
+    jobs: int = 1,
+) -> List[Any]:
+    """Run ``worker(*task)`` for every task; results in task order.
+
+    ``jobs`` caps the worker-process count (clamped to the task count,
+    but honoured as requested beyond the CPU count — oversubscription
+    merely timeslices).  With ``jobs <= 1`` or fewer than two tasks
+    this is a plain loop in the calling process — semantics, and
+    therefore output, are identical either way because the pool variant
+    also yields results strictly by task index (``starmap`` preserves
+    input order no matter which worker finishes first).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1: {jobs}")
+    tasks = list(tasks)
+    jobs = min(jobs, len(tasks))
+    if jobs <= 1 or len(tasks) < 2:
+        return [worker(*task) for task in tasks]
+    with _context().Pool(processes=jobs) as pool:
+        return pool.starmap(worker, tasks, chunksize=1)
+
+
+def merge_metric_samples(
+    telemetry, samples: Iterable[Dict[str, Any]]
+) -> int:
+    """Fold one worker's exported metric samples into ``telemetry``.
+
+    ``samples`` is the ``metrics`` list of
+    :meth:`repro.obs.registry.MetricsRegistry.to_dict` as returned from
+    a worker process.  Counters and gauges merge by summation,
+    histograms bucket-by-bucket — all order-independent for the integer
+    increments the simulators emit, so the merged registry is the same
+    for any worker count when callers merge in task order.  Returns the
+    number of series merged; spans are per-process and are not merged.
+    """
+    merged = 0
+    for record in samples:
+        name = record["name"]
+        labels = record.get("labels", {})
+        kind = record.get("kind")
+        if kind == "counter":
+            telemetry.counter(name, **labels).inc(record["value"])
+        elif kind == "gauge":
+            telemetry.gauge(name, **labels).add(record["value"])
+        elif kind == "histogram":
+            bounds = [
+                bound
+                for bound, _count in record["buckets"]
+                if bound != "+inf"
+            ]
+            histogram = telemetry.histogram(name, buckets=bounds, **labels)
+            for slot, (_bound, count) in enumerate(record["buckets"]):
+                histogram.counts[slot] += count
+            histogram.total += record["sum"]
+            histogram.count += record["count"]
+        else:
+            continue
+        merged += 1
+    return merged

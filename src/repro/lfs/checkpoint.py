@@ -18,7 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.common.serialization import Packer, Unpacker, checksum
+from repro.common.serialization import (
+    BatchPacker,
+    Unpacker,
+    segment_checksum,
+    unpack_u64_array,
+)
 from repro.disk.sim_disk import SimDisk
 from repro.errors import (
     CheckpointError,
@@ -42,29 +47,36 @@ class CheckpointData:
     usage_addrs: List[int] = field(default_factory=list)
 
     def pack(self, region_bytes: int) -> bytes:
-        body = (
-            Packer()
-            .f64(self.timestamp)
+        body_size = 8 + 8 + 4 * 5 + 8 * (len(self.imap_addrs) + len(self.usage_addrs))
+        if body_size + 8 > region_bytes:
+            raise CorruptionError(
+                f"checkpoint needs {body_size + 8} bytes, region "
+                f"holds {region_bytes}"
+            )
+        # Serialize the whole region in one preallocated buffer: header,
+        # body fields, both address arrays as single-call u64 packs, and
+        # the zero padding.  The CRC covers the padded body (everything
+        # after the 8-byte header) and is backfilled once the body is in
+        # place, checksummed as one contiguous span — the bytearray is
+        # born zeroed, so zero_to only advances the cursor.
+        out = bytearray(region_bytes)
+        packer = BatchPacker(out)
+        packer.u32(CHECKPOINT_MAGIC)
+        crc_slot = packer.skip(4)
+        (
+            packer.f64(self.timestamp)
             .u64(self.position.sequence)
             .u32(self.position.active_segment)
             .u32(self.position.active_offset)
             .u32(self.position.next_segment)
             .u32(len(self.imap_addrs))
             .u32(len(self.usage_addrs))
+            .u64_array(self.imap_addrs)
+            .u64_array(self.usage_addrs)
+            .zero_to(region_bytes)
         )
-        for addr in self.imap_addrs:
-            body.u64(addr)
-        for addr in self.usage_addrs:
-            body.u64(addr)
-        body_bytes = body.bytes()
-        if len(body_bytes) + 8 > region_bytes:
-            raise CorruptionError(
-                f"checkpoint needs {len(body_bytes) + 8} bytes, region "
-                f"holds {region_bytes}"
-            )
-        padded_body = body_bytes + b"\x00" * (region_bytes - 8 - len(body_bytes))
-        header = Packer().u32(CHECKPOINT_MAGIC).u32(checksum(padded_body))
-        return header.bytes() + padded_body
+        packer.patch_u32(crc_slot, segment_checksum(packer.view(8, region_bytes)))
+        return bytes(out)
 
     @classmethod
     def unpack(cls, data: bytes) -> "CheckpointData":
@@ -73,7 +85,7 @@ class CheckpointData:
         if magic != CHECKPOINT_MAGIC:
             raise CorruptionError(f"bad checkpoint magic 0x{magic:08x}")
         crc = unpacker.u32()
-        if checksum(data[unpacker.offset :]) != crc:
+        if segment_checksum(data[unpacker.offset :]) != crc:
             raise ChecksumMismatch("checkpoint checksum mismatch")
         timestamp = unpacker.f64()
         sequence = unpacker.u64()
@@ -82,8 +94,8 @@ class CheckpointData:
         next_segment = unpacker.u32()
         n_imap = unpacker.u32()
         n_usage = unpacker.u32()
-        imap_addrs = [unpacker.u64() for _ in range(n_imap)]
-        usage_addrs = [unpacker.u64() for _ in range(n_usage)]
+        imap_addrs = list(unpack_u64_array(unpacker.raw(8 * n_imap)))
+        usage_addrs = list(unpack_u64_array(unpacker.raw(8 * n_usage)))
         return cls(
             timestamp=timestamp,
             position=LogPosition(

@@ -25,6 +25,7 @@ from repro.common.inode import (
     N_DIRECT,
     NIL,
 )
+from repro.common import serialization
 from repro.common.serialization import Packer, Unpacker, checksum
 from repro.disk.sim_disk import SimDisk
 from repro.errors import (
@@ -107,6 +108,8 @@ class LogStructuredFS(BaseFileSystem):
         telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._config = config
+        if config.numpy_batch:
+            serialization.set_numpy_batch(True)
         self.layout = LfsLayout.for_device(config, disk.device.total_bytes)
         super().__init__(
             disk,
@@ -605,6 +608,12 @@ class LogStructuredFS(BaseFileSystem):
                 data = b"".join(self._inodes[inum].pack() for inum in group)
                 return data + b"\x00" * (bs - len(data))
 
+            def write_into(out, group=group) -> None:
+                offset = 0
+                for inum in group:
+                    offset += self._inodes[inum].pack_into(out, offset)
+                out[offset:] = bytes(len(out) - offset)  # alloc-ok: tail pad
+
             plan.append(
                 PlannedBlock(
                     entry=SummaryEntry(
@@ -615,6 +624,7 @@ class LogStructuredFS(BaseFileSystem):
                     ),
                     payload=payload,
                     finalize=finalize,
+                    write_into=write_into,
                 )
             )
             imap_indexes.update(self.imap.block_of(inum) for inum in group)
@@ -636,6 +646,9 @@ class LogStructuredFS(BaseFileSystem):
                     ),
                     payload=lambda index=index: self.imap.pack_block(index),
                     finalize=finalize,
+                    write_into=lambda out, index=index: self.imap.pack_block_into(
+                        index, out
+                    ),
                 )
             )
 
@@ -657,6 +670,9 @@ class LogStructuredFS(BaseFileSystem):
                         ),
                         payload=lambda index=index: self.usage.pack_block(index),
                         finalize=finalize,
+                        write_into=lambda out, index=index: (
+                            self.usage.pack_block_into(index, out)
+                        ),
                     )
                 )
 

@@ -264,12 +264,22 @@ class InodeMap:
         return bool(self._dirty_blocks)
 
     def pack_block(self, index: int) -> bytes:
+        out = bytearray(self.block_size)
+        self.pack_block_into(index, out)
+        return bytes(out)
+
+    def pack_block_into(self, index: int, out) -> None:
+        """Serialize block ``index`` into ``out`` (block_size bytes).
+
+        The zero-copy path the segment writer uses: entries land via
+        ``pack_into`` and the tail is explicitly zeroed (``out`` is a
+        reused pooled buffer, so stale bytes must be overwritten).
+        """
         if not 0 <= index < self.num_blocks:
             raise CorruptionError(f"imap block index {index} out of range")
         self._ensure_loaded(index)
         first = index * self.entries_per_block
         last = min(first + self.entries_per_block, self.max_inodes)
-        out = bytearray(self.block_size)
         pack_into = _ENTRY_PACK.pack_into
         entries = self._entries
         for position, inum in enumerate(range(first, last)):
@@ -283,7 +293,9 @@ class InodeMap:
                 entry.version,
                 entry.atime,
             )
-        return bytes(out)
+        used = (last - first) * IMAP_ENTRY_SIZE
+        if used < len(out):
+            out[used:] = bytes(len(out) - used)  # alloc-ok: tail pad
 
     def load_block(self, index: int, data: bytes) -> None:
         if not 0 <= index < self.num_blocks:

@@ -294,11 +294,21 @@ class SegmentUsage:
         self._dirty_blocks.discard(index)
 
     def pack_block(self, index: int) -> bytes:
+        out = bytearray(self.block_size)
+        self.pack_block_into(index, out)
+        return bytes(out)
+
+    def pack_block_into(self, index: int, out) -> None:
+        """Serialize block ``index`` into ``out`` (block_size bytes).
+
+        Zero-copy twin of :meth:`pack_block` for the segment writer's
+        pooled buffer; the tail is explicitly zeroed because the buffer
+        is reused.
+        """
         if not 0 <= index < self.num_blocks:
             raise CorruptionError(f"usage block index {index} out of range")
         first = index * self.entries_per_block
         last = min(first + self.entries_per_block, self.num_segments)
-        out = bytearray(self.block_size)
         pack_into = _INFO_PACK.pack_into
         info = self._info
         for position, seg in enumerate(range(first, last)):
@@ -310,7 +320,9 @@ class SegmentUsage:
                 entry.last_write,
                 int(entry.state),
             )
-        return bytes(out)
+        used = (last - first) * USAGE_ENTRY_SIZE
+        if used < len(out):
+            out[used:] = bytes(len(out) - used)  # alloc-ok: tail pad
 
     def load_block(self, index: int, data: bytes) -> None:
         if not 0 <= index < self.num_blocks:

@@ -263,10 +263,9 @@ class SegmentManager:
         buffer = self.pool.acquire()
         view = memoryview(buffer)
         try:
-            summary_bytes = summary.pack(bs)
-            if len(summary_bytes) != nsummary * bs:
+            packed = summary.pack_into(buffer, 0, bs)
+            if packed != nsummary * bs:
                 raise AssertionError("partial segment size mismatch")
-            view[: len(summary_bytes)] = summary_bytes
             offset = nsummary * bs
             for planned in chunk:
                 if planned.write_into is not None:

@@ -18,12 +18,11 @@ scanned.
 from __future__ import annotations
 
 import struct
-import zlib
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 from repro.common.inode import BlockKind, NIL
-from repro.common.serialization import U32, checksum
+from repro.common.serialization import U32, BatchPacker, checksum_chain
 from repro.errors import ChecksumMismatch, CorruptionError, TornWriteError
 from repro.lfs.config import SUMMARY_MAGIC
 
@@ -62,6 +61,18 @@ class SummaryEntry:
         if not self.inums:
             return head
         return head + struct.pack(f"<{len(self.inums)}I", *self.inums)
+
+    def pack_into(self, packer: BatchPacker) -> None:
+        """Append this entry to a batch serialization in place."""
+        packer.pack_with(
+            _ENTRY_HEAD,
+            int(self.kind),
+            self.inum,
+            self.index,
+            self.version,
+            len(self.inums),
+        )
+        packer.u32_array(self.inums)
 
     @classmethod
     def unpack_from(cls, data: bytes, offset: int) -> "Tuple[SummaryEntry, int]":
@@ -117,8 +128,29 @@ class SegmentSummary:
 
     def pack(self, block_size: int) -> bytes:
         nsummary = self.summary_blocks(block_size)
-        body_bytes = b"".join(entry.pack() for entry in self.entries)
-        prefix = _HEADER_PREFIX.pack(
+        out = bytearray(nsummary * block_size)
+        self.pack_into(out, 0, block_size)
+        return bytes(out)
+
+    def pack_into(
+        self,
+        buffer: Union[bytearray, memoryview],
+        offset: int,
+        block_size: int,
+    ) -> int:
+        """Serialize directly into ``buffer`` at ``offset``.
+
+        The segment writer hands this a window of its pooled segment
+        buffer, so the whole summary — header, CRC, entries, padding —
+        is produced with ``pack_into`` calls and never exists as an
+        intermediate ``bytes`` object.  Returns the padded size
+        (``nsummary * block_size``).
+        """
+        nsummary = self.summary_blocks(block_size)
+        padded_size = nsummary * block_size
+        packer = BatchPacker(buffer, offset, limit=offset + padded_size)
+        packer.pack_with(
+            _HEADER_PREFIX,
             SUMMARY_MAGIC,
             self.seq,
             self.timestamp,
@@ -126,14 +158,21 @@ class SegmentSummary:
             len(self.entries),
             nsummary,
         )
-        crc = checksum(prefix + body_bytes)
-        data = prefix + U32.pack(crc) + body_bytes
-        padded_size = nsummary * block_size
-        if len(data) > padded_size:
-            raise AssertionError(
-                f"summary packs to {len(data)} bytes > {padded_size}"
+        crc_slot = packer.skip(U32.size)
+        for entry in self.entries:
+            entry.pack_into(packer)
+        end = packer.offset
+        # The CRC covers prefix + entries, exactly as serialized; chain
+        # over the two spans around the CRC slot without copying them.
+        crc = checksum_chain(
+            (
+                packer.view(offset, offset + _CRC_OFFSET),
+                packer.view(offset + _HEADER_SIZE, end),
             )
-        return data + b"\x00" * (padded_size - len(data))
+        )
+        packer.patch_u32(crc_slot, crc)
+        packer.zero_to(offset + padded_size)
+        return padded_size
 
     @classmethod
     def unpack(cls, data: bytes, block_size: int) -> "SegmentSummary":
@@ -175,9 +214,9 @@ class SegmentSummary:
         # cheaper — the cleaner unpacks a summary per partial segment).
         # Chained crc32 avoids concatenating the two spans, which also
         # keeps this working when ``data`` is a zero-copy memoryview.
-        computed = zlib.crc32(
-            data[_HEADER_SIZE:offset], zlib.crc32(data[:_CRC_OFFSET])
-        ) & 0xFFFFFFFF
+        computed = checksum_chain(
+            (data[:_CRC_OFFSET], data[_HEADER_SIZE:offset])
+        )
         if computed != crc:
             raise ChecksumMismatch(f"summary checksum mismatch at seq {seq}")
         return cls(

@@ -60,23 +60,32 @@ def run_sweep(
     requests_per_client: int = 50,
     fill_fraction: float = 0.0,
     log=None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
-    points = []
-    for clients in clients_list:
-        point = sweep_point(
-            clients,
-            seed=seed,
-            requests_per_client=requests_per_client,
-            fill_fraction=fill_fraction,
-        )
-        if log is not None:
+    """Sweep the client counts; ``jobs > 1`` runs the points in parallel.
+
+    Each point is an independent seeded simulation, and results are
+    consumed in sweep order, so the report is byte-identical for any
+    ``jobs`` value.
+    """
+    from repro.harness.parallel import run_tasks
+
+    points = run_tasks(
+        sweep_point,
+        [
+            (clients, seed, requests_per_client, fill_fraction)
+            for clients in clients_list
+        ],
+        jobs=jobs,
+    )
+    if log is not None:
+        for point in points:
             log(
-                f"clients={clients:>3}: "
+                f"clients={point['clients']:>3}: "
                 f"{point['throughput_per_second']:>8.1f} req/s, "
                 f"p99 {point['latency_p99_seconds'] * 1000:>9.3f} ms, "
                 f"batch mean {point['commit_batch_mean']:.2f}"
             )
-        points.append(point)
     return points
 
 
@@ -120,6 +129,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="tiny sweep (1,4 clients x 10 requests) writing to /tmp",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep points (report is "
+        "byte-identical for any value)",
+    )
+    parser.add_argument(
         "--output",
         default=os.path.join(_REPO_ROOT, "BENCH_service.json"),
         help="report path (default: BENCH_service.json at the repo root)",
@@ -141,6 +157,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         requests_per_client=requests,
         fill_fraction=args.fill,
         log=print,
+        jobs=args.jobs,
     )
     write_report(points, output, args.seed, requests)
     print(f"report -> {output}")

@@ -40,15 +40,26 @@ def workload_entry(
     wall_seconds: float,
     ops: int,
     simulated_seconds: float,
+    cpu_seconds: Optional[float] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """One timed run of one workload."""
+    """One timed run of one workload.
+
+    ``cpu_seconds`` is the ``time.process_time()`` delta over the same
+    span as ``wall_seconds``: process CPU time, immune to the machine's
+    other load.  A wall/cpu divergence flags a noisy-neighbour run whose
+    wall-clock numbers should not be trusted.  (The measurement happens
+    in the harness — this module never touches the simulated clock, so
+    the SVC001 wall-clock lint does not apply here.)
+    """
     entry: Dict[str, Any] = {
         "wall_seconds": round(wall_seconds, 6),
         "ops": ops,
         "ops_per_second": round(ops / wall_seconds, 2) if wall_seconds > 0 else None,
         "simulated_seconds": round(simulated_seconds, 6),
     }
+    if cpu_seconds is not None:
+        entry["cpu_seconds"] = round(cpu_seconds, 6)
     if extra:
         entry["extra"] = extra
     return entry

@@ -77,3 +77,45 @@ class TestCampaign:
         text = report.render()
         assert "survival: OK" in text
         assert "2 trials" in text
+
+    def test_parallel_campaign_is_byte_identical(self):
+        lines_seq, lines_par = [], []
+        telemetry_seq, telemetry_par = Telemetry(), Telemetry()
+        sequential = run_campaign(
+            trials=4,
+            seed=11,
+            telemetry=telemetry_seq,
+            log=lines_seq.append,
+            jobs=1,
+            **SMALL_TRIAL,
+        )
+        parallel = run_campaign(
+            trials=4,
+            seed=11,
+            telemetry=telemetry_par,
+            log=lines_par.append,
+            jobs=2,
+            **SMALL_TRIAL,
+        )
+        assert parallel.render() == sequential.render()
+        assert lines_par == lines_seq
+        assert [t.signals for t in parallel.trials] == [
+            t.signals for t in sequential.trials
+        ]
+        # The telemetry merge is order-independent and complete: the
+        # merged counters equal the single-process recording.
+        seq_metrics = {
+            (m["name"], tuple(sorted(m.get("labels", {}).items()))): m.get(
+                "value"
+            )
+            for m in telemetry_seq.registry.to_dict()["metrics"]
+            if m.get("kind") == "counter"
+        }
+        par_metrics = {
+            (m["name"], tuple(sorted(m.get("labels", {}).items()))): m.get(
+                "value"
+            )
+            for m in telemetry_par.registry.to_dict()["metrics"]
+            if m.get("kind") == "counter"
+        }
+        assert par_metrics == seq_metrics

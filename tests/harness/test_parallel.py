@@ -1,0 +1,113 @@
+"""Tests for the deterministic parallel task runner and metric merge."""
+
+import pytest
+
+from repro.harness.parallel import (
+    available_jobs,
+    merge_metric_samples,
+    run_tasks,
+)
+from repro.obs import Telemetry
+
+
+def _square(value, offset):
+    return value * value + offset
+
+
+def _identify(index):
+    import os
+
+    return index, os.getpid()
+
+
+class TestAvailableJobs:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            available_jobs(0)
+        with pytest.raises(ValueError):
+            available_jobs(-3)
+
+    def test_clamps_to_cpu_count(self):
+        import os
+
+        assert available_jobs(1) == 1
+        assert available_jobs(10_000) == (os.cpu_count() or 1)
+
+
+class TestRunTasks:
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            run_tasks(_square, [(1, 0)], jobs=0)
+
+    def test_results_in_task_order_sequential(self):
+        tasks = [(i, 100) for i in range(10)]
+        assert run_tasks(_square, tasks, jobs=1) == [
+            i * i + 100 for i in range(10)
+        ]
+
+    def test_results_in_task_order_parallel(self):
+        tasks = [(i, 7) for i in range(20)]
+        expected = run_tasks(_square, tasks, jobs=1)
+        assert run_tasks(_square, tasks, jobs=2) == expected
+        assert run_tasks(_square, tasks, jobs=4) == expected
+
+    def test_parallel_actually_uses_workers(self):
+        results = run_tasks(_identify, [(i,) for i in range(8)], jobs=2)
+        assert [index for index, _pid in results] == list(range(8))
+        import os
+
+        assert all(pid != os.getpid() for _index, pid in results)
+
+    def test_single_task_runs_in_process(self):
+        results = run_tasks(_identify, [(0,)], jobs=4)
+        import os
+
+        assert results == [(0, os.getpid())]
+
+    def test_empty_task_list(self):
+        assert run_tasks(_square, [], jobs=4) == []
+
+
+def _record(telemetry, scale):
+    telemetry.counter("trials", kind="clean").inc(2 * scale)
+    telemetry.counter("trials", kind="detected").inc(scale)
+    telemetry.gauge("load").add(0.5 * scale)
+    histogram = telemetry.histogram("latency", buckets=[1.0, 10.0])
+    for value in (0.5, 5.0, 50.0):
+        for _ in range(scale):
+            histogram.observe(value)
+
+
+class TestMergeMetricSamples:
+    def test_merge_equals_single_process_recording(self):
+        # Two "workers" each record scale=1; merging both into a fresh
+        # telemetry must equal one process recording scale=2.
+        expected = Telemetry()
+        _record(expected, 2)
+
+        merged = Telemetry()
+        for _worker in range(2):
+            worker = Telemetry()
+            _record(worker, 1)
+            samples = worker.registry.to_dict()["metrics"]
+            assert merge_metric_samples(merged, samples) == 4
+        assert merged.registry.to_dict() == expected.registry.to_dict()
+
+    def test_merge_is_incremental(self):
+        merged = Telemetry()
+        worker = Telemetry()
+        worker.counter("n").inc(3)
+        samples = worker.registry.to_dict()["metrics"]
+        merge_metric_samples(merged, samples)
+        merge_metric_samples(merged, samples)
+        [record] = merged.registry.to_dict()["metrics"]
+        assert record["value"] == 6
+
+    def test_unknown_kinds_skipped(self):
+        merged = Telemetry()
+        assert (
+            merge_metric_samples(
+                merged, [{"name": "x", "kind": "span", "labels": {}}]
+            )
+            == 0
+        )

@@ -187,3 +187,92 @@ class TestNextTimerAt:
         assert fired == ["a", "b"]
         assert clock.now() == 2.0
         assert clock.next_timer_at() == 4.0
+
+
+class TestBatchedDispatch:
+    """Same-timestamp timers drain as one batch (one heap pop each)."""
+
+    def test_batch_counters(self):
+        clock = SimClock()
+        for _ in range(10):
+            clock.call_at(1.0, lambda: None)
+        for _ in range(5):
+            clock.call_at(2.0, lambda: None)
+        clock.advance_to(3.0)
+        assert clock.timers_fired == 15
+        assert clock.timer_batches == 2
+
+    def test_distinct_expiries_are_distinct_batches(self):
+        clock = SimClock()
+        for t in range(4):
+            clock.call_at(float(t + 1), lambda: None)
+        clock.advance_to(10.0)
+        assert clock.timer_batches == 4
+        assert clock.timers_fired == 4
+
+    def test_pending_timers_tracks_buckets(self):
+        clock = SimClock()
+        for _ in range(3):
+            clock.call_at(1.0, lambda: None)
+        clock.call_at(2.0, lambda: None)
+        assert clock.pending_timers() == 4
+        clock.advance_to(1.0)
+        assert clock.pending_timers() == 1
+        clock.advance_to(2.0)
+        assert clock.pending_timers() == 0
+
+    def test_cancel_all_inside_callback_stops_batch(self):
+        clock = SimClock()
+        fired = []
+
+        def cancel():
+            fired.append("cancel")
+            clock.cancel_all_timers()
+
+        clock.call_at(1.0, cancel)
+        clock.call_at(1.0, lambda: fired.append("late"))
+        clock.call_at(2.0, lambda: fired.append("other"))
+        clock.advance_to(5.0)
+        assert fired == ["cancel"]
+        assert clock.pending_timers() == 0
+        assert clock.now() == 5.0
+
+    def test_cancel_then_reschedule_same_expiry_inside_callback(self):
+        clock = SimClock()
+        fired = []
+
+        def cancel_and_reschedule():
+            fired.append("first")
+            clock.cancel_all_timers()
+            # A *new* bucket at the instant being drained: it replaces
+            # the cancelled one and still fires within this advance.
+            clock.call_at(1.0, lambda: fired.append("fresh"))
+
+        clock.call_at(1.0, cancel_and_reschedule)
+        clock.call_at(1.0, lambda: fired.append("stale"))
+        clock.advance_to(1.0)
+        assert fired == ["first", "fresh"]
+
+    def test_earlier_expiry_scheduled_mid_batch_preempts(self):
+        clock = SimClock(start=0.0)
+        fired = []
+
+        def schedule_earlier():
+            fired.append("a")
+            # Already-past expiry: must fire before the rest of the
+            # t=2 batch continues.
+            clock.call_at(1.0, lambda: fired.append("early"))
+
+        clock.call_at(2.0, schedule_earlier)
+        clock.call_at(2.0, lambda: fired.append("b"))
+        clock.advance_to(2.0)
+        assert fired == ["a", "early", "b"]
+
+    def test_next_timer_at_skips_cancelled_entries(self):
+        clock = SimClock()
+        clock.call_at(1.0, lambda: None)
+        clock.call_at(2.0, lambda: None)
+        clock.cancel_all_timers()
+        assert clock.next_timer_at() is None
+        clock.call_at(3.0, lambda: None)
+        assert clock.next_timer_at() == 3.0
