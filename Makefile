@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench crashtest service-bench ci
+.PHONY: test lint bench-smoke bench bench-diff trace crashtest service-bench ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,6 +35,26 @@ bench-smoke:
 bench:
 	$(PYTHON) benchmarks/perf_harness.py --scale small --strict
 
+# Compare two smoke-scale harness runs with the `repro bench-diff`
+# gate (expects bench-smoke's /tmp/BENCH_smoke.json to exist).  The
+# tolerance is deliberately loose — smoke legs run for milliseconds on
+# shared CI machines, so this step gates schema drift, workload
+# comparability and order-of-magnitude slowdowns; the single-digit 3%
+# gate lives in `make bench` against the committed baseline.
+bench-diff:
+	$(PYTHON) benchmarks/perf_harness.py --smoke --no-legacy \
+		--output /tmp/BENCH_smoke_b.json
+	$(PYTHON) -m repro bench-diff /tmp/BENCH_smoke.json \
+		/tmp/BENCH_smoke_b.json --max-regression 200
+
+# Regenerate the committed trace-attribution report: a seeded
+# 16-client serve-sim with full request tracing, decomposed into
+# queueing / admission-retry / commit-wait / fs / disk /
+# cleaner-throttle (components sum to the measured latency) plus the
+# write-amplification ledger.
+trace:
+	$(PYTHON) -m repro trace --output BENCH_trace.json
+
 # Fixed seed, small trial count: CI asserts zero unhandled exceptions
 # (the command exits nonzero if any trial escapes with an untyped
 # error), not any particular corruption mix.
@@ -47,4 +67,4 @@ crashtest:
 service-bench:
 	$(PYTHON) -m repro.service.bench --smoke
 
-ci: lint test bench-smoke service-bench crashtest
+ci: lint test bench-smoke bench-diff service-bench crashtest

@@ -45,12 +45,14 @@ Operation-count probes assert the O(1) invariants directly:
   by ``mark_durable_calls * pending`` as the old rebuild was.
 
 A third leg per workload runs with telemetry **enabled** (a live
-:class:`repro.obs.Telemetry`), recording the observability layer's
-wall-clock overhead next to the default telemetry-disabled numbers and
-asserting both modes produce identical simulated results.  The
-telemetry-disabled leg is additionally compared against the committed
-``BENCH_hotpaths.json`` baseline (3% tolerance) when the scales match —
-the guard that the disabled-mode instrumentation hooks stay free.
+:class:`repro.obs.Telemetry`) and a fourth with full tracing on
+(``Telemetry(trace_io=True)`` — request spans plus per-I/O disk
+spans), recording the observability layer's wall-clock overhead next
+to the default telemetry-disabled numbers and asserting all modes
+produce identical simulated results.  The telemetry-disabled leg is
+additionally compared against the committed ``BENCH_hotpaths.json``
+baseline (3% tolerance) when the scales match — the guard that the
+disabled-mode instrumentation hooks stay free even as tracing grows.
 
 Results are written to ``BENCH_hotpaths.json`` at the repository root
 (schema in :mod:`repro.tools.bench_report`).
@@ -1221,6 +1223,15 @@ def run_probes(fs: LogStructuredFS) -> Dict[str, Any]:
         "undo_records_skipped": device.undo_records_skipped,
         "durability_scan_steps": device.durability_scan_steps,
     }
+    # Write-amplification ledger of the cleaning leg: the cleaner ran,
+    # so the cleaner-copied bytes are non-zero and amplification > 1.
+    wamp = fs.wamp_report()
+    probes["wamp_user_bytes"] = wamp["user_bytes"]
+    probes["wamp_log_bytes"] = wamp["log_bytes"]
+    probes["wamp_cleaner_bytes"] = wamp["cleaner_bytes"]
+    probes["wamp_write_amplification"] = round(
+        wamp["write_amplification"], 6
+    )
     # _pop_clean is amortized O(1): total heap traffic is bounded by
     # state transitions (each entry pushed once, popped at most once),
     # never by min_clean_calls * num_segments as the old scan was.
@@ -1282,7 +1293,14 @@ def _leg_task(scale_name: str, workload_name: str, mode: str):
     probes must run here — in the process that just ran the cleaning
     workload — because the live file system cannot cross a process
     boundary.
+
+    Legs share a process when run sequentially, and the tracing leg
+    leaves a large span graph behind; collect it before starting the
+    timer so one leg's garbage never inflates the next leg's numbers.
     """
+    import gc
+
+    gc.collect()
     scale = SCALES[scale_name]
     workload = WORKLOADS[workload_name]
     if mode == "before":
@@ -1290,6 +1308,8 @@ def _leg_task(scale_name: str, workload_name: str, mode: str):
             return workload(scale), None
     if mode == "telemetry":
         return workload(scale, telemetry=Telemetry()), None
+    if mode == "tracing":
+        return workload(scale, telemetry=Telemetry(trace_io=True)), None
     result = workload(scale)
     probes = None
     if workload_name == "cleaning":
@@ -1310,6 +1330,7 @@ def run_harness(
     checks: Dict[str, bool] = {}
     identical = True
     telemetry_identical = True
+    tracing_identical = True
 
     # Build the full leg list up front.  Within a repeat the run order
     # alternates: in-process warm-up (allocator, page cache) favors
@@ -1317,7 +1338,7 @@ def run_harness(
     legs = []
     for name in WORKLOADS:
         for repeat in range(scale.repeats):
-            modes = ["after", "before", "telemetry"]
+            modes = ["after", "before", "telemetry", "tracing"]
             if repeat % 2:
                 modes.reverse()
             for mode in modes:
@@ -1348,7 +1369,12 @@ def run_harness(
             outcomes.append(_leg_task(scale.name, name, mode))
 
     acc: Dict[str, Dict[str, _Leg]] = {
-        name: {"after": _Leg(), "before": _Leg(), "telemetry": _Leg()}
+        name: {
+            "after": _Leg(),
+            "before": _Leg(),
+            "telemetry": _Leg(),
+            "tracing": _Leg(),
+        }
         for name in WORKLOADS
     }
     probes: Optional[Dict[str, Any]] = None
@@ -1361,10 +1387,18 @@ def run_harness(
         after = acc[name]["after"]
         before = acc[name]["before"]
         tele = acc[name]["telemetry"]
+        tracing = acc[name]["tracing"]
         entry: Dict[str, Any] = {"after": after.entry()}
         entry["telemetry_on"] = tele.entry()
         entry["telemetry_overhead"] = round(
             entry["telemetry_on"]["wall_seconds"]
+            / entry["after"]["wall_seconds"]
+            - 1.0,
+            4,
+        )
+        entry["tracing_on"] = tracing.entry()
+        entry["tracing_overhead"] = round(
+            entry["tracing_on"]["wall_seconds"]
             / entry["after"]["wall_seconds"]
             - 1.0,
             4,
@@ -1374,6 +1408,14 @@ def run_harness(
             print(
                 f"[perf] WARNING: {name} simulated results differ with "
                 f"telemetry on: on={tele.fingerprint} "
+                f"off={after.fingerprint}",
+                file=sys.stderr,
+            )
+        if tracing.fingerprint != after.fingerprint:
+            tracing_identical = False
+            print(
+                f"[perf] WARNING: {name} simulated results differ with "
+                f"tracing on: on={tracing.fingerprint} "
                 f"off={after.fingerprint}",
                 file=sys.stderr,
             )
@@ -1393,6 +1435,7 @@ def run_harness(
     assert probes is not None, "no after-mode cleaning leg ran"
     checks["o1_probes"] = True  # run_probes asserts
     checks["telemetry_results_identical"] = telemetry_identical
+    checks["tracing_results_identical"] = tracing_identical
     if compare_legacy:
         checks["simulated_results_identical"] = identical
 

@@ -20,6 +20,9 @@ Commands::
     stats IMAGE                               mount with telemetry, report
     crashtest --trials N --seed S             crash+corruption campaign
     serve-sim --clients N --seed S            multi-client service sim
+    trace --clients N --seed S                traced service run + latency
+                                              attribution (BENCH_trace.json)
+    bench-diff A.json B.json                  compare two perf reports
 
 ``fig --telemetry out.jsonl`` records the experiment's metrics and
 spans (see :mod:`repro.obs`) and writes them as JSONL for offline
@@ -373,6 +376,13 @@ def cmd_serve_sim(args) -> int:
     )
     fs.unmount()
     print(stats.render(f"serve-sim clients={args.clients} seed={args.seed}"))
+    wamp = fs.wamp_report()
+    print(
+        f"write amplification        "
+        f"{wamp['write_amplification']:.4f} "
+        f"(user={wamp['user_bytes']} log={wamp['log_bytes']} "
+        f"cleaner={wamp['cleaner_bytes']})"
+    )
     if args.image:
         fs.disk.device.save(args.image)
         print(f"image -> {args.image}")
@@ -380,6 +390,64 @@ def cmd_serve_sim(args) -> int:
         lines = export_jsonl(telemetry, args.telemetry)
         print(f"telemetry: {lines} records -> {args.telemetry}")
     return 1 if stats.dropped else 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import Telemetry, export_jsonl
+    from repro.obs.attribution import (
+        build_trace_report,
+        render_trace_report,
+        write_trace_report,
+    )
+    from repro.service import ServiceConfig, simulate_service
+
+    telemetry = Telemetry(trace_io=args.trace_io)
+    config = ServiceConfig(
+        num_clients=args.clients,
+        seed=args.seed,
+        requests_per_client=args.requests_per_client,
+        commit_window=args.commit_window,
+        fill_fraction=args.fill,
+    )
+    stats, fs = simulate_service(
+        config, total_bytes=args.size, telemetry=telemetry
+    )
+    fs.unmount()
+    report = build_trace_report(
+        telemetry,
+        fs=fs,
+        config={
+            "clients": args.clients,
+            "seed": args.seed,
+            "requests_per_client": args.requests_per_client,
+            "commit_window": args.commit_window,
+            "fill_fraction": args.fill,
+            "trace_io": bool(args.trace_io),
+        },
+    )
+    write_trace_report(report, args.output)
+    print(render_trace_report(report))
+    print(f"trace report -> {args.output}")
+    if args.export:
+        lines = export_jsonl(telemetry, args.export)
+        print(f"trace export: {lines} records -> {args.export}")
+    return 1 if stats.dropped else 0
+
+
+def cmd_bench_diff(args) -> int:
+    from repro.tools.bench_report import (
+        diff_reports,
+        load_report,
+        render_diff,
+    )
+
+    old = load_report(args.old)
+    new = load_report(args.new)
+    diff = diff_reports(
+        old, new, max_regression=args.max_regression / 100.0
+    )
+    print(render_diff(diff))
+    return 1 if diff["regressions"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -523,6 +591,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="record service metrics/spans; write them as JSONL here",
     )
     p.set_defaults(func=cmd_serve_sim)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a traced service simulation and write the latency "
+        "attribution report (BENCH_trace.json)",
+    )
+    p.add_argument("--clients", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--requests-per-client", type=int, default=100)
+    p.add_argument(
+        "--commit-window",
+        type=float,
+        default=0.01,
+        help="group-commit window in simulated seconds",
+    )
+    p.add_argument(
+        "--fill",
+        type=float,
+        default=0.85,
+        metavar="FRACTION",
+        help="pre-fill the log to this fraction of serviceable capacity "
+        "(the default engages the cleaner, so throttle attribution and "
+        "cleaner-copied bytes are exercised)",
+    )
+    p.add_argument("--size", type=_parse_size, default=64 * MIB)
+    p.add_argument(
+        "--output",
+        default="BENCH_trace.json",
+        metavar="OUT.JSON",
+        help="where to write the attribution report",
+    )
+    p.add_argument(
+        "--export",
+        metavar="OUT.JSONL",
+        help="also write the raw trace tree (metrics + spans) as JSONL",
+    )
+    p.add_argument(
+        "--trace-io",
+        action="store_true",
+        help="record a span per disk request (finer tree, bigger export)",
+    )
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "bench-diff",
+        help="compare two perf-harness reports workload by workload",
+    )
+    p.add_argument("old", help="baseline BENCH_hotpaths.json")
+    p.add_argument("new", help="candidate BENCH_hotpaths.json")
+    p.add_argument(
+        "--max-regression",
+        type=float,
+        default=3.0,
+        metavar="PCT",
+        help="fail (exit 1) if any workload is more than PCT%% slower "
+        "(default 3)",
+    )
+    p.set_defaults(func=cmd_bench_diff)
 
     return parser
 

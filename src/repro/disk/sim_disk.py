@@ -92,6 +92,16 @@ class SimDisk:
         # the readahead pipeline (and any other run-coalescing caller).
         self.vectored_reads = 0
         self._m_vectored = obs.counter("disk.vectored_reads")
+        # Caller-blocking time: simulated seconds this disk advanced the
+        # caller's clock (sync reads/writes and drain).  A plain float
+        # attribute, not a counter: the attribution probe diffs it on
+        # one process, and float partial sums would not merge
+        # order-independently across --jobs workers.  Monotone, so
+        # interval deltas decompose latencies.
+        self.sync_stall_seconds = 0.0
+        # Per-request spans are much finer-grained than the component
+        # spans, so they ride the opt-in trace_io flag.
+        self._trace_io = getattr(self.telemetry, "trace_io", False)
 
     # ------------------------------------------------------------------
     # Timing model
@@ -156,6 +166,12 @@ class SimDisk:
         ``MediaError`` failures propagate immediately.
         """
         issue = self.clock.now()
+        io_span = None
+        if self._trace_io:
+            tracer = self.telemetry.tracer
+            io_span = tracer.begin(
+                "disk.read", parent=tracer.current_span(), sector=sector
+            )
         start, done, tier = self._schedule(sector, count * self.geometry.sector_size)
         if vectored:
             self.vectored_reads += 1
@@ -197,8 +213,13 @@ class SimDisk:
                     label=label,
                 )
             )
+        self.sync_stall_seconds += done - self.clock.now()
         self.clock.advance_to(done)
         self.device.mark_durable(self.clock.now())
+        if io_span is not None:
+            io_span.attrs["bytes"] = len(data)
+            io_span.attrs["tier"] = tier.value
+            self.telemetry.tracer.finish(io_span)
         return data
 
     def write(
@@ -213,6 +234,15 @@ class SimDisk:
         if not data:
             raise OutOfRangeError("cannot write zero bytes")
         issue = self.clock.now()
+        io_span = None
+        if self._trace_io:
+            tracer = self.telemetry.tracer
+            io_span = tracer.begin(
+                "disk.write",
+                parent=tracer.current_span(),
+                sector=sector,
+                sync=sync,
+            )
         start, done, tier = self._schedule(sector, len(data))
         # A synchronous request advances the clock to ``done`` before this
         # method returns, so its undo record could never survive to a
@@ -242,12 +272,20 @@ class SimDisk:
                 )
             )
         if sync:
+            self.sync_stall_seconds += done - self.clock.now()
             self.clock.advance_to(done)
         self.device.mark_durable(self.clock.now())
+        if io_span is not None:
+            io_span.attrs["bytes"] = len(data)
+            io_span.attrs["tier"] = tier.value
+            self.telemetry.tracer.finish(io_span)
         return done
 
     def drain(self) -> None:
         """Block (advance the clock) until all queued requests complete."""
+        stall = self._busy_until - self.clock.now()
+        if stall > 0.0:
+            self.sync_stall_seconds += stall
         self.clock.advance_to(self._busy_until)
         self.device.mark_durable(self.clock.now())
 

@@ -279,12 +279,16 @@ def _trial_worker(
     instrument objects cannot be shared across processes) and ships the
     exported counter samples home for an order-independent merge.
     """
+    from repro.harness.parallel import export_telemetry_totals
+
     telemetry = Telemetry() if with_telemetry else None
     result = run_trial(
         trial, seed, telemetry=telemetry, device_bytes=device_bytes
     )
     samples = (
-        telemetry.registry.to_dict()["metrics"] if telemetry is not None else None
+        export_telemetry_totals(telemetry)
+        if telemetry is not None
+        else None
     )
     return result, samples
 

@@ -17,6 +17,7 @@ from repro.harness.experiments import (
 )
 from repro.harness.parallel import (
     available_jobs,
+    export_telemetry_totals,
     merge_metric_samples,
     run_tasks,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "ablation_disk_array",
     "write_cost_comparison",
     "available_jobs",
+    "export_telemetry_totals",
     "merge_metric_samples",
     "run_tasks",
 ]

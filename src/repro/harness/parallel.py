@@ -25,7 +25,12 @@ import multiprocessing
 import os
 from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
-__all__ = ["available_jobs", "run_tasks", "merge_metric_samples"]
+__all__ = [
+    "available_jobs",
+    "run_tasks",
+    "merge_metric_samples",
+    "export_telemetry_totals",
+]
 
 
 def available_jobs(requested: int) -> int:
@@ -75,19 +80,63 @@ def run_tasks(
         return pool.starmap(worker, tasks, chunksize=1)
 
 
-def merge_metric_samples(
+def export_telemetry_totals(telemetry) -> Dict[str, Any]:
+    """A worker's mergeable observability totals, ready to ship home.
+
+    Everything :func:`merge_metric_samples` knows how to fold: the
+    registry's metric samples and label-overflow counter plus the
+    tracer's per-kind span counts/seconds and span-drop counter.  Span
+    *event records* stay in the worker — they are per-process detail
+    and can be arbitrarily large — but the totals merge, so a
+    ``--jobs N`` run reports the same observability summary as
+    ``--jobs 1``.
+    """
+    tracer = telemetry.tracer
+    return {
+        "metrics": telemetry.registry.to_dict()["metrics"],
+        "dropped_label_sets": telemetry.registry.dropped_label_sets,
+        "kind_counts": dict(tracer.kind_counts),
+        "kind_seconds": dict(tracer.kind_seconds),
+        "dropped_spans": tracer.dropped_spans,
+    }
+
+
+def merge_metric_samples(telemetry, samples) -> int:
+    """Fold one worker's exported observability totals into ``telemetry``.
+
+    ``samples`` is either the plain ``metrics`` list of
+    :meth:`repro.obs.registry.MetricsRegistry.to_dict` (the original
+    contract) or the dict built by :func:`export_telemetry_totals`,
+    which additionally carries the tracer's span-kind counts/seconds
+    and the drop counters.  Counters and gauges merge by summation,
+    histograms bucket-by-bucket — all order-independent for the integer
+    increments the simulators emit, so the merged state is the same for
+    any worker count when callers merge in task order.  Returns the
+    number of metric series merged; span *event records* are
+    per-process and are not merged, but their per-kind totals are.
+    """
+    if isinstance(samples, dict):
+        merged = _merge_sample_list(telemetry, samples.get("metrics", []))
+        tracer = telemetry.tracer
+        for kind, count in samples.get("kind_counts", {}).items():
+            tracer.kind_counts[kind] = (
+                tracer.kind_counts.get(kind, 0) + count
+            )
+        for kind, seconds in samples.get("kind_seconds", {}).items():
+            tracer.kind_seconds[kind] = (
+                tracer.kind_seconds.get(kind, 0.0) + seconds
+            )
+        tracer.dropped_spans += samples.get("dropped_spans", 0)
+        telemetry.registry.dropped_label_sets += samples.get(
+            "dropped_label_sets", 0
+        )
+        return merged
+    return _merge_sample_list(telemetry, samples)
+
+
+def _merge_sample_list(
     telemetry, samples: Iterable[Dict[str, Any]]
 ) -> int:
-    """Fold one worker's exported metric samples into ``telemetry``.
-
-    ``samples`` is the ``metrics`` list of
-    :meth:`repro.obs.registry.MetricsRegistry.to_dict` as returned from
-    a worker process.  Counters and gauges merge by summation,
-    histograms bucket-by-bucket — all order-independent for the integer
-    increments the simulators emit, so the merged registry is the same
-    for any worker count when callers merge in task order.  Returns the
-    number of series merged; spans are per-process and are not merged.
-    """
     merged = 0
     for record in samples:
         name = record["name"]

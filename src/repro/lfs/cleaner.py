@@ -66,6 +66,11 @@ class CleanerStats:
     empty_segments_skipped: int = 0
     emergency_passes: int = 0
     busy_seconds: float = 0.0
+    # Portion of busy_seconds spent stalled on synchronous disk I/O
+    # (sampled from SimDisk.sync_stall_seconds around each pass); the
+    # attribution analyzer subtracts it so cleaner CPU time and disk
+    # time land in different latency components.
+    disk_stall_seconds: float = 0.0
     segments_quarantined: int = 0
 
 
@@ -163,12 +168,21 @@ class SegmentCleaner:
     # The cleaning loop
     # ------------------------------------------------------------------
 
-    def clean(self, target_clean: int | None = None) -> int:
+    def clean(
+        self,
+        target_clean: int | None = None,
+        pays_for: int | None = None,
+    ) -> int:
         """Clean until ``target_clean`` segments are clean (or stuck).
 
         Returns the number of segments cleaned.  Per §4.3.4, segments
         are cleaned "until all segments are either clean or contain at
         least a file-system-settable fraction of live blocks".
+
+        ``pays_for`` names the span id of a throttled request that is
+        stalled waiting on this pass; the pass's span links back to it
+        so exported traces tie reclamation work to the foreground write
+        that paid for it.
         """
         target = (
             self.fs.config.clean_high_water
@@ -176,6 +190,8 @@ class SegmentCleaner:
             else target_clean
         )
         with self.telemetry.span("cleaner.clean", target=target) as span:
+            if pays_for is not None:
+                span.add_link(pays_for, "pays_for")
             cleaned = self._run_clean(target)
             span.set_attr("cleaned", cleaned)
         self._m_segments.inc(cleaned)
@@ -185,6 +201,7 @@ class SegmentCleaner:
         cleaned = 0
         usage = self.fs.usage
         start = self.fs.clock.now()
+        stall_before = getattr(self.fs.disk, "sync_stall_seconds", 0.0)
         stagnant_passes = 0
         while usage.clean_count() < target:
             clean_before = usage.clean_count()
@@ -265,6 +282,9 @@ class SegmentCleaner:
             else:
                 stagnant_passes = 0
         self.stats.busy_seconds += self.fs.clock.now() - start
+        self.stats.disk_stall_seconds += (
+            getattr(self.fs.disk, "sync_stall_seconds", 0.0) - stall_before
+        )
         self.clean_reserve()  # refresh the cleaner.clean_reserve gauge
         return cleaned
 

@@ -12,7 +12,7 @@ synchronous write in the system is the periodic checkpoint region.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from repro.cache.writeback import WritebackReason
 from repro.common.directory import DirectoryBlock
@@ -771,6 +771,25 @@ class LogStructuredFS(BaseFileSystem):
         """Total log bytes written per byte of user data written."""
         user = max(1, self._stats.bytes_written)
         return self.segments.log_bytes_written / user
+
+    def wamp_report(self) -> Dict[str, Any]:
+        """The write-amplification ledger (the ``wamp.*`` family).
+
+        Reads the always-on counters, so it works with telemetry
+        disabled: user bytes in, log bytes shipped, the cleaner's
+        copy-out traffic broken out, and the amplification ratio
+        (log bytes per user byte — the paper's write cost, §5.1).
+        """
+        user = self._stats.bytes_written
+        log = self.segments.log_bytes_written
+        cleaner = self.segments.cleaner_bytes_written
+        return {
+            "user_bytes": user,
+            "log_bytes": log,
+            "cleaner_bytes": cleaner,
+            "cleaner_fraction": (cleaner / log) if log else 0.0,
+            "write_amplification": (log / user) if user else 0.0,
+        }
 
     def live_data_bytes(self) -> int:
         return self.usage.total_live_bytes()

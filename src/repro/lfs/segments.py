@@ -131,6 +131,11 @@ class SegmentManager:
         self.pool = SegmentBufferPool(
             layout.config.segment_size, telemetry=telemetry
         )
+        # Write-amplification ledger: every byte shipped to the log,
+        # with the cleaner's copy-out traffic broken out separately.
+        obs = telemetry or NULL_TELEMETRY
+        self._m_wamp_log = obs.counter("wamp.log_bytes")
+        self._m_wamp_cleaner = obs.counter("wamp.cleaner_bytes")
 
     # ------------------------------------------------------------------
     # Log-tail state
@@ -297,8 +302,10 @@ class SegmentManager:
         pos.sequence += 1
         self.partial_segments_written += 1
         self.log_bytes_written += total
+        self._m_wamp_log.inc(total)
         if self.cleaner_mode:
             self.cleaner_bytes_written += total
+            self._m_wamp_cleaner.inc(total)
         if self.remaining_blocks() < 2:
             self._advance_segment()
         return total

@@ -12,6 +12,13 @@ See DESIGN.md's "Observability" section for the metric-name catalog and
 the span taxonomy.
 """
 
+from repro.obs.context import (
+    COMPONENTS,
+    NULL_TRACE_CONTEXT,
+    RequestTracer,
+    StallProbe,
+    TraceContext,
+)
 from repro.obs.export import (
     export_jsonl,
     format_fields,
@@ -19,6 +26,7 @@ from repro.obs.export import (
     read_jsonl,
     render_report,
 )
+from repro.obs.names import METRIC_NAMES, SPAN_KINDS
 from repro.obs.registry import (
     Counter,
     DEFAULT_BYTE_BUCKETS,
@@ -43,6 +51,13 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "SpanTracer",
     "Span",
+    "TraceContext",
+    "RequestTracer",
+    "StallProbe",
+    "NULL_TRACE_CONTEXT",
+    "COMPONENTS",
+    "METRIC_NAMES",
+    "SPAN_KINDS",
     "export_jsonl",
     "read_jsonl",
     "iter_records",

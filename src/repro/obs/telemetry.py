@@ -34,8 +34,13 @@ class Telemetry:
         clock: Optional[SimClock] = None,
         max_spans: int = DEFAULT_MAX_SPANS,
         max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+        trace_io: bool = False,
     ) -> None:
         self.enabled = enabled
+        # Per-I/O spans (one per disk request) are far finer-grained
+        # than the component spans; they are opt-in so a plain
+        # telemetry rig keeps its established overhead profile.
+        self.trace_io = trace_io and enabled
         self.registry = MetricsRegistry(
             enabled=enabled, max_label_sets=max_label_sets
         )
@@ -66,6 +71,18 @@ class Telemetry:
 
     def span(self, kind: str, **attrs: Any):
         return self.tracer.span(kind, **attrs)
+
+    def begin(self, kind: str, parent=None, **attrs: Any):
+        return self.tracer.begin(kind, parent=parent, **attrs)
+
+    def finish(self, span) -> None:
+        self.tracer.finish(span)
+
+    def resume(self, span) -> None:
+        self.tracer.resume(span)
+
+    def suspend(self, span) -> None:
+        self.tracer.suspend(span)
 
     # -- export --------------------------------------------------------
 

@@ -35,13 +35,14 @@ class Span:
     start: float
     end: Optional[float] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
+    links: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
         return (self.end if self.end is not None else self.start) - self.start
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        record: Dict[str, Any] = {
             "id": self.span_id,
             "parent": self.parent_id,
             "kind": self.kind,
@@ -49,6 +50,9 @@ class Span:
             "end": self.end,
             "attrs": dict(self.attrs),
         }
+        if self.links:
+            record["links"] = [dict(link) for link in self.links]
+        return record
 
 
 class _ActiveSpan:
@@ -63,6 +67,9 @@ class _ActiveSpan:
     def set_attr(self, key: str, value: Any) -> None:
         self._span.attrs[key] = value
 
+    def add_link(self, target_id: int, relation: str) -> None:
+        self._span.links.append({"target": target_id, "relation": relation})
+
     def __enter__(self) -> "_ActiveSpan":
         return self
 
@@ -76,6 +83,9 @@ class _NullSpan:
     __slots__ = ()
 
     def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def add_link(self, target_id: int, relation: str) -> None:
         pass
 
     def __enter__(self) -> "_NullSpan":
@@ -142,13 +152,69 @@ class SpanTracer:
         self._stack.append(span)
         return _ActiveSpan(self, span)
 
-    def _finish(self, span: Span) -> None:
+    def begin(self, kind: str, parent: Optional[Span] = None, **attrs: Any):
+        """Open a span with an *explicit* parent, outside the stack.
+
+        This is the request-tracing entry point: a request's root span
+        outlives any one call frame (it is suspended while the request
+        waits in a queue or for a commit window), so it cannot live on
+        the nesting stack.  The returned :class:`Span` must eventually
+        be passed to :meth:`finish`.  Returns ``None`` when disabled —
+        callers hold the result and pass it back, so the null case
+        costs one ``is None`` check.
+        """
+        if not self.enabled:
+            return None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            kind=kind,
+            start=self._now(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        return span
+
+    def finish(self, span: Optional[Span]) -> None:
+        """Close a span opened with :meth:`begin`."""
+        if span is None:
+            return
         span.end = self._now()
-        # Exceptions can unwind several spans out of order; pop to ours.
+        self._record(span)
+
+    def resume(self, span: Optional[Span]) -> None:
+        """Push a begun-but-suspended span onto the nesting stack.
+
+        While resumed, spans opened via :meth:`span` parent under it —
+        this is how a request's root span adopts the ``cleaner.clean``
+        and ``service.group_commit`` work done on its behalf without
+        the fs/cleaner code knowing about requests.  Balance every
+        ``resume`` with :meth:`suspend`.
+        """
+        if span is not None:
+            self._stack.append(span)
+
+    def suspend(self, span: Optional[Span]) -> None:
+        """Pop a resumed span off the nesting stack (tolerant unwind)."""
+        if span is None:
+            return
         while self._stack and self._stack[-1] is not span:
             self._stack.pop()
         if self._stack:
             self._stack.pop()
+
+    def add_link(
+        self, span: Optional[Span], target_id: int, relation: str
+    ) -> None:
+        """Attach a causal link from ``span`` to another span by id."""
+        if span is not None:
+            span.links.append({"target": target_id, "relation": relation})
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, if any (for linking, not mutation)."""
+        return self._stack[-1] if self._stack else None
+
+    def _record(self, span: Span) -> None:
         self.kind_counts[span.kind] = self.kind_counts.get(span.kind, 0) + 1
         self.kind_seconds[span.kind] = (
             self.kind_seconds.get(span.kind, 0.0) + span.duration
@@ -157,6 +223,15 @@ class SpanTracer:
             self.spans.append(span)
         else:
             self.dropped_spans += 1
+
+    def _finish(self, span: Span) -> None:
+        span.end = self._now()
+        # Exceptions can unwind several spans out of order; pop to ours.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self._record(span)
 
     # ------------------------------------------------------------------
     # Introspection / export

@@ -30,6 +30,7 @@ import enum
 from typing import TYPE_CHECKING, Optional
 
 from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.context import NULL_TRACE_CONTEXT
 from repro.service.config import ServiceConfig
 from repro.service.stats import ServiceStats
 
@@ -68,6 +69,7 @@ class AdmissionController:
         self.watermark = config.reserve_watermark + fs.config.clean_low_water
         self.in_flight = 0
         obs = telemetry or NULL_TELEMETRY
+        self._obs = obs
         self._g_queue = obs.gauge("service.queue_depth")
         self._m_admitted = obs.counter("service.admitted")
         self._m_rejected = obs.counter("service.rejected")
@@ -106,21 +108,31 @@ class AdmissionController:
         self._m_admitted.inc()
         return Decision.ADMIT
 
-    def pay_throttle(self) -> float:
+    def pay_throttle(self, ctx: object = NULL_TRACE_CONTEXT) -> float:
         """Run one paced cleaning pass on the throttled writer's dime.
 
         Returns the simulated seconds the writer stalled.  The cleaning
         target clears the watermark with slack, so one stall buys
         enough reserve for many subsequent admissions and throttling
         self-limits instead of recurring on every write.
+
+        ``ctx`` is the throttled request's trace context: the stall is
+        recorded as a ``service.throttle`` span under its root, the
+        cleaning pass links back to the root (it was paid for by this
+        request), and the whole stall lands in its ``cleaner_throttle``
+        latency component.
         """
         clock = self.fs.clock
         start = clock.now()
         self.stats.throttle_events += 1
         self._m_throttles.inc()
         target = self.fs.segments.reserve_segments + self.watermark + 2
-        self.fs.cleaner.clean(target)
+        self._obs.resume(ctx.root)
+        with self._obs.span("service.throttle"):
+            self.fs.cleaner.clean(target, pays_for=ctx.root_id)
+        self._obs.suspend(ctx.root)
         stalled = clock.now() - start
+        ctx.charge("cleaner_throttle", stalled)
         self.stats.throttle_seconds += stalled
         self._m_throttle_s.inc(stalled)
         return stalled

@@ -51,6 +51,16 @@ def sweep_point(
     fs.unmount()
     point: Dict[str, object] = {"clients": clients}
     point.update(stats.to_dict())
+    # The write-amplification ledger rides along per point, so the
+    # sweep shows how batching discipline changes bytes, not just
+    # latency (keys prefixed to keep the flat namespace collision-free).
+    wamp = fs.wamp_report()
+    point["wamp_user_bytes"] = wamp["user_bytes"]
+    point["wamp_log_bytes"] = wamp["log_bytes"]
+    point["wamp_cleaner_bytes"] = wamp["cleaner_bytes"]
+    point["wamp_write_amplification"] = round(
+        wamp["write_amplification"], 6
+    )
     return point
 
 

@@ -16,9 +16,10 @@ happened to close the window).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
 
 from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.context import NULL_TRACE_CONTEXT, StallProbe
 from repro.service.config import ServiceConfig
 from repro.service.stats import ServiceStats
 from repro.vfs.interface import FileHandle
@@ -45,10 +46,11 @@ class GroupCommitter:
         self.config = config
         self.stats = stats
         self._enqueue = enqueue
-        self._waiters: List[Tuple[FileHandle, Callable[[], None]]] = []
+        self._waiters: List[Tuple[FileHandle, Callable[[], None], Any]] = []
         self._window_open = False
         self.commits = 0
         self.telemetry = telemetry or NULL_TELEMETRY
+        self._probe = StallProbe(fs)
         obs = self.telemetry
         self._m_commits = obs.counter("service.commits")
         self._m_fsyncs = obs.counter("service.fsyncs_committed")
@@ -65,14 +67,19 @@ class GroupCommitter:
         return len(self._waiters)
 
     def request_commit(
-        self, handle: FileHandle, done: Callable[[], None]
+        self,
+        handle: FileHandle,
+        done: Callable[[], None],
+        ctx: Any = NULL_TRACE_CONTEXT,
     ) -> None:
         """Join the current commit window (opening one if needed).
 
         ``done`` runs — via the scheduler's ready queue — once the
-        flush that covers ``handle`` is durable.
+        flush that covers ``handle`` is durable.  ``ctx`` is the
+        request's trace context: its commit wait ends when the flush
+        starts, and the shared flush time is attributed to it.
         """
-        self._waiters.append((handle, done))
+        self._waiters.append((handle, done, ctx))
         if not self._window_open:
             self._window_open = True
             deadline = self.fs.clock.now() + self.config.commit_window
@@ -86,16 +93,37 @@ class GroupCommitter:
         self._window_open = False
         if not batch:
             return
+        # Every waiter's commit wait ends here, and every waiter is
+        # charged the *full* shared flush — each request's wall clock
+        # genuinely spans it — with one counter sample split applied to
+        # all of them.
+        traced = [ctx for _h, _d, ctx in batch if ctx]
+        for ctx in traced:
+            ctx.end_wait()
+        before = self._probe.sample() if traced else None
+        flush_start = self.fs.clock.now()
         with self.telemetry.span(
             "service.group_commit", batch=len(batch)
-        ):
-            self.fs.fsync_many([handle for handle, _done in batch])
+        ) as span:
+            for ctx in traced:
+                span.add_link(ctx.root_id, "commits")
+            self.fs.fsync_many([handle for handle, _done, _ctx in batch])
+        if traced:
+            elapsed = self.fs.clock.now() - flush_start
+            after = self._probe.sample()
+            delta = (
+                after[0] - before[0],
+                after[1] - before[1],
+                after[2] - before[2],
+            )
+            for ctx in traced:
+                ctx.charge_split(elapsed, delta)
         self.commits += 1
         self.stats.note_batch(len(batch))
         self._m_commits.inc()
         self._m_fsyncs.inc(len(batch))
         self._h_batch.observe(len(batch))
-        for _handle, done in batch:
+        for _handle, done, _ctx in batch:
             self._enqueue(done)
 
     def flush_now(self) -> None:

@@ -36,6 +36,7 @@ from typing import Callable, Deque, List, Optional, Tuple
 from repro.errors import NoSpaceError
 from repro.lfs.filesystem import LogStructuredFS
 from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs.context import NULL_TRACE_CONTEXT, RequestTracer
 from repro.obs.registry import DEFAULT_TIME_BUCKETS
 from repro.service.admission import AdmissionController, Decision
 from repro.service.committer import GroupCommitter
@@ -50,13 +51,14 @@ MAX_FILE_BYTES = 1 * MIB
 class Request:
     """One client request travelling through admission → execution."""
 
-    __slots__ = ("client_id", "kind", "arrival", "throttles")
+    __slots__ = ("client_id", "kind", "arrival", "throttles", "ctx")
 
     def __init__(self, client_id: int, kind: str, arrival: float) -> None:
         self.client_id = client_id
         self.kind = kind
         self.arrival = arrival
         self.throttles = 0
+        self.ctx = NULL_TRACE_CONTEXT
 
 
 class ClientStream:
@@ -129,6 +131,7 @@ class RequestScheduler:
         self.config = config
         self.stats = ServiceStats()
         self.telemetry = telemetry or NULL_TELEMETRY
+        self.tracing = RequestTracer(self.telemetry, fs)
         self.admission = AdmissionController(
             fs, config, self.stats, telemetry=self.telemetry
         )
@@ -206,16 +209,21 @@ class RequestScheduler:
         kind = client.next_kind()
         client.issued += 1
         request = Request(client.client_id, kind, self.clock.now())
+        request.ctx = self.tracing.context(client.client_id, kind)
         self.stats.note_submitted(kind)
         self._m_requests[kind].inc()
         self._submit(request)
 
     def _submit(self, request: Request) -> None:
+        request.ctx.end_wait()  # closes a pending retry backoff, if any
         decision = self.admission.try_admit(request.kind, request.throttles)
         if decision is Decision.REJECT:
             # Bounded queue is full: retry after a backoff.  The
             # arrival timestamp is preserved, so the wait shows up in
             # this request's latency, not in a dropped-request count.
+            request.ctx.begin_wait(
+                "service.admission_retry", "admission_retry"
+            )
             self._post_at(
                 self.clock.now() + self.config.retry_backoff,
                 lambda: self._submit(request),
@@ -223,7 +231,7 @@ class RequestScheduler:
             return
         if decision is Decision.THROTTLE:
             request.throttles += 1
-            self.admission.pay_throttle()  # advances simulated time
+            self.admission.pay_throttle(request.ctx)  # advances sim time
             self._enqueue(lambda: self._submit(request))
             return
         self._execute(request)
@@ -233,12 +241,16 @@ class RequestScheduler:
 
     def _execute(self, request: Request) -> None:
         client = self._client(request)
+        request.ctx.activate()
         try:
             if request.kind == "fsync":
                 handle = self.fs.open(client.last_written)
+                request.ctx.deactivate()
+                request.ctx.begin_wait("service.commit_wait", "commit_wait")
                 self.committer.request_commit(
                     handle,
                     lambda: self._finish_fsync(request, handle),
+                    ctx=request.ctx,
                 )
                 return  # completes when the commit window closes
             if request.kind == "write":
@@ -284,6 +296,7 @@ class RequestScheduler:
         client.last_written = path
 
     def _finish_fsync(self, request: Request, handle) -> None:
+        request.ctx.activate()
         handle.close()
         self._complete(request)
 
@@ -292,6 +305,8 @@ class RequestScheduler:
         client = self._client(request)
         client.completed += 1
         latency = self.clock.now() - request.arrival
+        request.ctx.deactivate()
+        request.ctx.finish(latency)
         self.stats.note_completed(request.kind, latency)
         self._m_completed.inc()
         self._h_latency[request.kind].observe(latency)

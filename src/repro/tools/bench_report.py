@@ -135,6 +135,92 @@ def find_regressions(
     return regressions
 
 
+def diff_reports(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    max_regression: float = 0.03,
+) -> Dict[str, Any]:
+    """Per-workload wall-clock comparison of two bench reports.
+
+    The engine behind ``repro bench-diff A.json B.json``: every
+    workload present in both reports is compared on its ``after`` leg,
+    and any whose wall-clock grew by more than ``max_regression``
+    (a fraction: 0.03 = 3%) lands in ``regressions``.  Workloads only
+    one side has are listed, not judged.  Scale mismatches are flagged
+    as incomparable — CI should treat that as a wiring error, not a
+    pass.
+    """
+    result: Dict[str, Any] = {
+        "max_regression": max_regression,
+        "comparable": old.get("scale") == new.get("scale"),
+        "old_scale": old.get("scale"),
+        "new_scale": new.get("scale"),
+        "workloads": {},
+        "regressions": [],
+        "only_old": [],
+        "only_new": [],
+    }
+    old_workloads = old.get("workloads", {})
+    new_workloads = new.get("workloads", {})
+    result["only_old"] = sorted(set(old_workloads) - set(new_workloads))
+    result["only_new"] = sorted(set(new_workloads) - set(old_workloads))
+    if not result["comparable"]:
+        result["regressions"].append(
+            f"scale mismatch: {old.get('scale')!r} vs {new.get('scale')!r} "
+            f"(reports are not comparable)"
+        )
+        return result
+    for name in sorted(set(old_workloads) & set(new_workloads)):
+        old_after = old_workloads[name].get("after")
+        new_after = new_workloads[name].get("after")
+        if not old_after or not new_after:
+            continue
+        old_wall = old_after["wall_seconds"]
+        new_wall = new_after["wall_seconds"]
+        ratio = (new_wall / old_wall) if old_wall > 0 else float("inf")
+        entry = {
+            "old_wall_seconds": old_wall,
+            "new_wall_seconds": new_wall,
+            "ratio": round(ratio, 4),
+            "regressed": old_wall > 0
+            and new_wall > old_wall * (1.0 + max_regression),
+        }
+        result["workloads"][name] = entry
+        if entry["regressed"]:
+            result["regressions"].append(
+                f"{name}: {old_wall:.3f}s -> {new_wall:.3f}s "
+                f"({ratio:.2f}x, limit {1.0 + max_regression:.2f}x)"
+            )
+    return result
+
+
+def render_diff(diff: Dict[str, Any]) -> str:
+    """Terminal rendering of a :func:`diff_reports` result."""
+    lines = [
+        f"bench diff — max regression "
+        f"{diff['max_regression']:.1%} "
+        f"(scales: {diff['old_scale']} vs {diff['new_scale']})",
+        f"{'workload':<28} {'old s':>9} {'new s':>9} {'ratio':>7}",
+    ]
+    for name, entry in diff["workloads"].items():
+        flag = "  REGRESSED" if entry["regressed"] else ""
+        lines.append(
+            f"{name:<28} {entry['old_wall_seconds']:>9.3f} "
+            f"{entry['new_wall_seconds']:>9.3f} "
+            f"{entry['ratio']:>6.2f}x{flag}"
+        )
+    for name in diff["only_old"]:
+        lines.append(f"{name:<28} (only in old report)")
+    for name in diff["only_new"]:
+        lines.append(f"{name:<28} (only in new report)")
+    if diff["regressions"]:
+        lines.append(f"{len(diff['regressions'])} regression(s):")
+        lines.extend(f"  {item}" for item in diff["regressions"])
+    else:
+        lines.append("no regressions")
+    return "\n".join(lines)
+
+
 def summarize(report: Dict[str, Any]) -> str:
     """Render the report as a terminal table."""
     lines = [
@@ -161,6 +247,12 @@ def summarize(report: Dict[str, Any]) -> str:
             lines.append(
                 f"  telemetry on: {telemetry_on['wall_seconds']:.3f}s "
                 f"({entry.get('telemetry_overhead', 0.0):+.1%})"
+            )
+        tracing_on = entry.get("tracing_on")
+        if tracing_on:
+            lines.append(
+                f"  tracing on:   {tracing_on['wall_seconds']:.3f}s "
+                f"({entry.get('tracing_overhead', 0.0):+.1%})"
             )
     for name, ok in report["checks"].items():
         lines.append(f"  check {name}: {'ok' if ok else 'FAILED'}")

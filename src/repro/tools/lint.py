@@ -1,9 +1,10 @@
 """A dependency-free linter for the classes of defect this repo cares
 about: unused imports, write-only local variables, instrumented modules
-that bypass the telemetry registry with bare ``print``, broad
-``except`` clauses in the crash-recovery modules (FAULT001),
-wall-clock calls in the simulated-time service layer (SVC001), and
-buffer copies on the zero-copy data path (ALLOC001).
+that bypass the telemetry registry with bare ``print`` (OBS001) or
+emit metric/span names missing from the registered vocabulary
+(OBS002), broad ``except`` clauses in the crash-recovery modules
+(FAULT001), wall-clock calls in the simulated-time service layer
+(SVC001), and buffer copies on the zero-copy data path (ALLOC001).
 
 The container this project builds in has no third-party linter, so this
 module is the fallback for ``make lint`` — when ``ruff`` is installed
@@ -194,6 +195,70 @@ def _check_obs_print_bypass(
             )
 
 
+_OBS_NAME_DIRS = (
+    "repro/lfs/",
+    "repro/cache/",
+    "repro/disk/",
+    "repro/service/",
+    "repro/vfs/",
+    "repro/faults/",
+)
+"""Instrumented directories whose metric names and span kinds must come
+from the registered vocabulary in :mod:`repro.obs.names`.
+
+A telemetry series name typed inline at the emit site can drift from
+the name the dashboards, the attribution analyzer and the merge path
+expect — ``wamp.user_byte`` instead of ``wamp.user_bytes`` fails
+silently, producing a fresh series nobody reads.  OBS002 forces every
+literal handed to ``.counter()/.gauge()/.histogram()`` or
+``.span()/.begin()`` in these directories to be a member of
+``METRIC_NAMES`` / ``SPAN_KINDS``, so adding an instrument means
+registering its name first."""
+
+_OBS_METRIC_METHODS = ("counter", "gauge", "histogram")
+_OBS_SPAN_METHODS = ("span", "begin")
+
+
+def _registered_obs_names() -> Tuple[Set[str], Set[str]]:
+    from repro.obs.names import METRIC_NAMES, SPAN_KINDS
+
+    return set(METRIC_NAMES), set(SPAN_KINDS)
+
+
+def _check_obs_registered_names(
+    path: str, tree: ast.Module, noqa: Set[int]
+) -> Iterator[Tuple[str, int, str]]:
+    normalized = path.replace(os.sep, "/")
+    if not any(marker in normalized for marker in _OBS_NAME_DIRS):
+        return
+    metric_names, span_kinds = _registered_obs_names()
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            continue
+        method = node.func.attr
+        name = node.args[0].value
+        if method in _OBS_METRIC_METHODS:
+            registered, table = metric_names, "METRIC_NAMES"
+        elif method in _OBS_SPAN_METHODS:
+            registered, table = span_kinds, "SPAN_KINDS"
+        else:
+            continue
+        if name in registered or node.lineno in noqa:
+            continue
+        yield (
+            path,
+            node.lineno,
+            f"OBS002 unregistered telemetry name `{name}` passed to "
+            f"`.{method}()`; register it in repro.obs.names.{table}",
+        )
+
+
 _RECOVERY_TYPED_FILES = ("repro/lfs/recovery.py", "repro/lfs/checkpoint.py")
 """Crash-recovery modules where every caught exception must be typed.
 
@@ -350,6 +415,7 @@ def lint_file(path: str) -> List[Tuple[str, int, str]]:
     findings = list(_check_unused_imports(path, tree, noqa))
     findings.extend(_check_unused_locals(path, tree, noqa))
     findings.extend(_check_obs_print_bypass(path, tree, noqa))
+    findings.extend(_check_obs_registered_names(path, tree, noqa))
     findings.extend(_check_recovery_broad_except(path, tree, noqa))
     findings.extend(_check_service_wall_clock(path, tree, noqa))
     findings.extend(

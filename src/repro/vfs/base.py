@@ -83,6 +83,9 @@ class BaseFileSystem(StorageManager):
         self._obs_enabled = self.telemetry.enabled
         self._m_fs_bytes_written = self.telemetry.counter("fs.bytes_written")
         self._m_fs_bytes_read = self.telemetry.counter("fs.bytes_read")
+        # The write-amplification ledger's numerator lives in the
+        # segment writer (wamp.log_bytes); this is its denominator.
+        self._m_wamp_user = self.telemetry.counter("wamp.user_bytes")
         self.cache = BlockCache(
             cache_bytes, self.block_size, telemetry=self.telemetry
         )
@@ -802,6 +805,7 @@ class BaseFileSystem(StorageManager):
             with self.telemetry.span("fs.write", bytes=len(data)):
                 written = self._pwrite(handle, offset, data)
             self._m_fs_bytes_written.inc(written)
+            self._m_wamp_user.inc(written)
             return written
         return self._pwrite(handle, offset, data)
 

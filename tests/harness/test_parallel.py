@@ -111,3 +111,76 @@ class TestMergeMetricSamples:
             )
             == 0
         )
+
+
+def _record_with_spans(telemetry, scale):
+    _record(telemetry, scale)
+    for _ in range(scale):
+        with telemetry.span("fs.write", path="/f"):
+            pass
+        span = telemetry.tracer.begin("service.request", client=0)
+        telemetry.tracer.finish(span)
+
+
+class TestExportTelemetryTotals:
+    def test_dict_merge_equals_single_process_recording(self):
+        # Two "workers" each record scale=1 (metrics *and* spans);
+        # merging their exported totals must equal one process
+        # recording scale=2 — the --jobs N == --jobs 1 contract.
+        from repro.harness.parallel import export_telemetry_totals
+
+        expected = Telemetry()
+        _record_with_spans(expected, 2)
+
+        merged = Telemetry()
+        for _worker in range(2):
+            worker = Telemetry()
+            _record_with_spans(worker, 1)
+            merge_metric_samples(merged, export_telemetry_totals(worker))
+        assert merged.registry.to_dict() == expected.registry.to_dict()
+        assert dict(merged.tracer.kind_counts) == dict(
+            expected.tracer.kind_counts
+        )
+        assert dict(merged.tracer.kind_seconds) == dict(
+            expected.tracer.kind_seconds
+        )
+        assert merged.tracer.dropped_spans == expected.tracer.dropped_spans
+        assert (
+            merged.registry.dropped_label_sets
+            == expected.registry.dropped_label_sets
+        )
+
+    def test_span_event_records_stay_in_the_worker(self):
+        from repro.harness.parallel import export_telemetry_totals
+
+        worker = Telemetry()
+        _record_with_spans(worker, 1)
+        merged = Telemetry()
+        merge_metric_samples(merged, export_telemetry_totals(worker))
+        assert merged.tracer.spans == []
+        assert merged.tracer.kind_counts["service.request"] == 1
+
+    def test_drop_counters_merge(self):
+        from repro.harness.parallel import export_telemetry_totals
+
+        worker = Telemetry()
+        worker.tracer.dropped_spans = 3
+        worker.registry.dropped_label_sets = 2
+        merged = Telemetry()
+        merge_metric_samples(merged, export_telemetry_totals(worker))
+        merge_metric_samples(merged, export_telemetry_totals(worker))
+        assert merged.tracer.dropped_spans == 6
+        assert merged.registry.dropped_label_sets == 4
+
+    def test_legacy_list_form_still_merges(self):
+        worker = Telemetry()
+        worker.counter("n").inc(5)
+        merged = Telemetry()
+        assert (
+            merge_metric_samples(
+                merged, worker.registry.to_dict()["metrics"]
+            )
+            == 1
+        )
+        [record] = merged.registry.to_dict()["metrics"]
+        assert record["value"] == 5

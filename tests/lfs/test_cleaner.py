@@ -228,3 +228,44 @@ class TestFsyncMany:
             handle.write(b"s" * 4096)
             handle.fsync()
         assert lfs.cache.dirty_bytes == 0
+
+
+class TestWampReport:
+    def test_amplification_exceeds_one_after_cleaning(self, lfs):
+        fill_and_fragment(lfs)
+        assert lfs.clean_now(lfs.layout.num_segments) > 0
+        lfs.sync()
+        wamp = lfs.wamp_report()
+        assert wamp["user_bytes"] > 0
+        assert wamp["cleaner_bytes"] > 0
+        assert wamp["log_bytes"] >= wamp["cleaner_bytes"]
+        assert wamp["write_amplification"] > 1.0
+        assert wamp["cleaner_fraction"] == (
+            wamp["cleaner_bytes"] / wamp["log_bytes"]
+        )
+
+    def test_fresh_fs_has_unit_ledger(self, lfs):
+        wamp = lfs.wamp_report()
+        assert wamp["user_bytes"] == 0
+        assert wamp["cleaner_bytes"] == 0
+        assert wamp["write_amplification"] == 0.0
+
+    def test_wamp_counters_mirror_the_ledger(self, disk, cpu):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        lfs = LogStructuredFS.mkfs(
+            disk, cpu, small_lfs_config(), telemetry=telemetry
+        )
+        fill_and_fragment(lfs)
+        lfs.clean_now(lfs.layout.num_segments)
+        lfs.sync()
+        wamp = lfs.wamp_report()
+        metrics = {
+            record["name"]: record["value"]
+            for record in telemetry.registry.to_dict()["metrics"]
+            if record["name"].startswith("wamp.")
+        }
+        assert metrics["wamp.user_bytes"] == wamp["user_bytes"]
+        assert metrics["wamp.log_bytes"] == wamp["log_bytes"]
+        assert metrics["wamp.cleaner_bytes"] == wamp["cleaner_bytes"]

@@ -1,0 +1,147 @@
+"""Tests for bench report diffing (`repro bench-diff`) and the trace
+attribution command (`repro trace`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.tools.bench_report import (
+    build_report,
+    diff_reports,
+    render_diff,
+    workload_entry,
+    write_report,
+)
+
+from .test_cli import run_cli
+
+
+def make_report(scale: str, walls: dict) -> dict:
+    workloads = {
+        name: {"after": workload_entry(wall, 100, 0.0)}
+        for name, wall in walls.items()
+    }
+    return build_report(
+        scale=scale, workloads=workloads, probes={}, checks={}
+    )
+
+
+class TestDiffReports:
+    def test_identical_reports_have_no_regressions(self):
+        report = make_report("small", {"cleaning": 1.0, "seq_read": 0.5})
+        diff = diff_reports(report, report, max_regression=0.03)
+        assert diff["comparable"]
+        assert diff["regressions"] == []
+        assert diff["workloads"]["cleaning"]["ratio"] == 1.0
+        assert not diff["workloads"]["cleaning"]["regressed"]
+
+    def test_slowdown_beyond_the_limit_regresses(self):
+        old = make_report("small", {"cleaning": 1.0})
+        new = make_report("small", {"cleaning": 1.1})
+        diff = diff_reports(old, new, max_regression=0.03)
+        assert diff["workloads"]["cleaning"]["regressed"]
+        assert len(diff["regressions"]) == 1
+        assert "cleaning" in diff["regressions"][0]
+
+    def test_slowdown_within_the_limit_passes(self):
+        old = make_report("small", {"cleaning": 1.0})
+        new = make_report("small", {"cleaning": 1.02})
+        diff = diff_reports(old, new, max_regression=0.03)
+        assert diff["regressions"] == []
+
+    def test_speedups_never_regress(self):
+        old = make_report("small", {"cleaning": 1.0})
+        new = make_report("small", {"cleaning": 0.5})
+        diff = diff_reports(old, new, max_regression=0.0)
+        assert diff["regressions"] == []
+        assert diff["workloads"]["cleaning"]["ratio"] == 0.5
+
+    def test_scale_mismatch_is_incomparable_and_fails(self):
+        old = make_report("small", {"cleaning": 1.0})
+        new = make_report("smoke", {"cleaning": 1.0})
+        diff = diff_reports(old, new)
+        assert not diff["comparable"]
+        assert diff["workloads"] == {}
+        assert len(diff["regressions"]) == 1
+        assert "scale mismatch" in diff["regressions"][0]
+
+    def test_one_sided_workloads_are_listed_not_judged(self):
+        old = make_report("small", {"cleaning": 1.0, "gone": 1.0})
+        new = make_report("small", {"cleaning": 1.0, "fresh": 1.0})
+        diff = diff_reports(old, new)
+        assert diff["only_old"] == ["gone"]
+        assert diff["only_new"] == ["fresh"]
+        assert diff["regressions"] == []
+
+    def test_render_flags_regressions(self):
+        old = make_report("small", {"cleaning": 1.0})
+        new = make_report("small", {"cleaning": 2.0})
+        rendered = render_diff(diff_reports(old, new, max_regression=0.03))
+        assert "REGRESSED" in rendered
+        assert "1 regression(s):" in rendered
+        ok = render_diff(diff_reports(old, old))
+        assert "no regressions" in ok
+
+
+class TestBenchDiffCommand:
+    def _write(self, tmp_path, name, walls, scale="small"):
+        path = str(tmp_path / name)
+        write_report(path, make_report(scale, walls))
+        return path
+
+    def test_exit_zero_when_within_limit(self, tmp_path):
+        a = self._write(tmp_path, "a.json", {"cleaning": 1.0})
+        b = self._write(tmp_path, "b.json", {"cleaning": 1.01})
+        code, out = run_cli(["bench-diff", a, b, "--max-regression", "3"])
+        assert code == 0
+        assert "no regressions" in out
+
+    def test_exit_nonzero_on_regression(self, tmp_path):
+        a = self._write(tmp_path, "a.json", {"cleaning": 1.0})
+        b = self._write(tmp_path, "b.json", {"cleaning": 1.5})
+        code, out = run_cli(["bench-diff", a, b, "--max-regression", "3"])
+        assert code == 1
+        assert "REGRESSED" in out
+
+    def test_scale_mismatch_fails(self, tmp_path):
+        a = self._write(tmp_path, "a.json", {"cleaning": 1.0})
+        b = self._write(
+            tmp_path, "b.json", {"cleaning": 1.0}, scale="smoke"
+        )
+        code, out = run_cli(["bench-diff", a, b])
+        assert code == 1
+        assert "scale mismatch" in out
+
+
+class TestTraceCommand:
+    def test_trace_writes_report_with_exact_attribution(self, tmp_path):
+        output = str(tmp_path / "trace.json")
+        export = str(tmp_path / "trace.jsonl")
+        code, out = run_cli(
+            [
+                "trace",
+                "--clients",
+                "4",
+                "--requests-per-client",
+                "5",
+                "--fill",
+                "0",
+                "--size",
+                "32M",
+                "--output",
+                output,
+                "--export",
+                export,
+            ]
+        )
+        assert code == 0
+        assert "requests traced" in out
+        with open(output) as handle:
+            report = json.load(handle)
+        assert report["requests"] == 20
+        assert report["max_sum_error"] < 1e-9
+        assert report["wamp"]["write_amplification"] >= 1.0
+        with open(export) as handle:
+            lines = handle.read().splitlines()
+        assert lines, "JSONL export is empty"
+        assert json.loads(lines[-1])["type"] == "summary"

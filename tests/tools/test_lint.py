@@ -204,3 +204,67 @@ class TestHotPathAllocs:
         )
         path = write_module(tmp_path, "repro/disk/ext.py", source)
         assert not any("ALLOC001" in m for _, _, m in lint_file(path))
+
+
+class TestObsRegisteredNames:
+    def test_flags_unregistered_counter_name(self, tmp_path):
+        source = (
+            "def hook(obs):\n"
+            "    obs.counter('wamp.user_byte').inc(1)\n"
+        )
+        path = write_module(tmp_path, "repro/lfs/ext.py", source)
+        findings = [m for _, _, m in lint_file(path) if "OBS002" in m]
+        assert findings and "METRIC_NAMES" in findings[0]
+
+    def test_flags_unregistered_span_kind(self, tmp_path):
+        source = (
+            "def hook(obs):\n"
+            "    with obs.span('cleaner.unheard_of'):\n"
+            "        pass\n"
+        )
+        path = write_module(tmp_path, "repro/service/ext.py", source)
+        findings = [m for _, _, m in lint_file(path) if "OBS002" in m]
+        assert findings and "SPAN_KINDS" in findings[0]
+
+    def test_flags_unregistered_tracer_begin(self, tmp_path):
+        source = (
+            "def hook(tracer):\n"
+            "    return tracer.begin('disk.readd')\n"
+        )
+        path = write_module(tmp_path, "repro/disk/ext.py", source)
+        assert any("OBS002" in m for _, _, m in lint_file(path))
+
+    def test_registered_names_pass(self, tmp_path):
+        source = (
+            "def hook(obs, tracer):\n"
+            "    obs.counter('wamp.user_bytes').inc(1)\n"
+            "    obs.gauge('cache.dirty_bytes').add(1)\n"
+            "    with obs.span('fs.write'):\n"
+            "        tracer.begin('disk.read')\n"
+        )
+        path = write_module(tmp_path, "repro/vfs/ext.py", source)
+        assert not any("OBS002" in m for _, _, m in lint_file(path))
+
+    def test_ignores_modules_outside_instrumented_dirs(self, tmp_path):
+        source = (
+            "def hook(obs):\n"
+            "    obs.counter('totally.unregistered').inc(1)\n"
+        )
+        path = write_module(tmp_path, "repro/tools/ext.py", source)
+        assert not any("OBS002" in m for _, _, m in lint_file(path))
+
+    def test_dynamic_names_are_not_decidable_and_skipped(self, tmp_path):
+        source = (
+            "def hook(obs, name):\n"
+            "    obs.counter(name).inc(1)\n"
+        )
+        path = write_module(tmp_path, "repro/lfs/ext.py", source)
+        assert not any("OBS002" in m for _, _, m in lint_file(path))
+
+    def test_noqa_suppresses_the_finding(self, tmp_path):
+        source = (
+            "def hook(obs):\n"
+            "    obs.counter('scratch.series').inc(1)  # noqa: OBS002\n"
+        )
+        path = write_module(tmp_path, "repro/lfs/ext.py", source)
+        assert not any("OBS002" in m for _, _, m in lint_file(path))
