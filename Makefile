@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench bench-diff trace crashtest service-bench ci
+.PHONY: test lint bench-smoke bench bench-diff trace crashtest chaos service-bench ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -61,10 +61,23 @@ trace:
 crashtest:
 	$(PYTHON) -m repro crashtest --trials 10 --seed 0
 
+# Crash-under-load campaign: boot the full service rig on a faulty
+# device, crash it at adversarial instants, remount, and check the
+# durability contract (every acked fsync intact, no torn client state).
+# Exits nonzero on any contract violation or unhandled escape; the
+# jobs=2 rerun must render byte-identically to the serial one.
+chaos:
+	$(PYTHON) -m repro chaos --trials 6 --seed 0 --clients 4 \
+		--requests-per-client 40 --verbose > /tmp/chaos_j1.txt
+	$(PYTHON) -m repro chaos --trials 6 --seed 0 --clients 4 \
+		--requests-per-client 40 --verbose --jobs 2 > /tmp/chaos_j2.txt
+	diff /tmp/chaos_j1.txt /tmp/chaos_j2.txt
+	@cat /tmp/chaos_j1.txt
+
 # Tiny client sweep; exits nonzero if any request is dropped.  The
 # full sweep (and the committed BENCH_service.json) comes from
 # benchmarks/test_service_scaling.py.
 service-bench:
 	$(PYTHON) -m repro.service.bench --smoke
 
-ci: lint test bench-smoke bench-diff service-bench crashtest
+ci: lint test bench-smoke bench-diff service-bench crashtest chaos

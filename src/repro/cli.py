@@ -19,6 +19,8 @@ Commands::
     fig {1,3,4,5,scaling,recovery}            run a paper experiment
     stats IMAGE                               mount with telemetry, report
     crashtest --trials N --seed S             crash+corruption campaign
+    chaos --trials N --seed S --clients C     crash-under-load campaign with
+                                              durability-contract checking
     serve-sim --clients N --seed S            multi-client service sim
     trace --clients N --seed S                traced service run + latency
                                               attribution (BENCH_trace.json)
@@ -359,6 +361,28 @@ def cmd_crashtest(args) -> int:
     return 0 if report.survived_all else 1
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults.chaos import run_chaos_campaign
+    from repro.obs import Telemetry, export_jsonl
+
+    telemetry = Telemetry() if args.telemetry else None
+    report = run_chaos_campaign(
+        trials=args.trials,
+        seed=args.seed,
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        telemetry=telemetry,
+        device_bytes=args.size,
+        log=print if args.verbose else None,
+        jobs=args.jobs,
+    )
+    print(report.render())
+    if telemetry is not None:
+        lines = export_jsonl(telemetry, args.telemetry)
+        print(f"telemetry: {lines} records -> {args.telemetry}")
+    return 0 if report.passed_all else 1
+
+
 def cmd_serve_sim(args) -> int:
     from repro.obs import Telemetry, export_jsonl
     from repro.service import ServiceConfig, simulate_service
@@ -558,6 +582,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="record campaign metrics/spans; write them as JSONL here",
     )
     p.set_defaults(func=cmd_crashtest)
+
+    p = sub.add_parser(
+        "chaos",
+        help="crash a loaded service rig at adversarial instants and "
+        "check the durability contract after every remount",
+    )
+    p.add_argument("--trials", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--requests-per-client", type=int, default=80)
+    p.add_argument("--size", type=_parse_size, default=32 * MIB)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the trials (report is byte-identical "
+        "for any value)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="print a line per trial"
+    )
+    p.add_argument(
+        "--telemetry",
+        metavar="OUT.JSONL",
+        help="record campaign metrics/spans; write them as JSONL here",
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "serve-sim",

@@ -1,0 +1,57 @@
+"""Bounded-retry backoff policy for transient read errors.
+
+The timing layer retries :class:`~repro.errors.TransientIOError` reads
+(ECC retries, vibration — see :mod:`repro.faults`) with exponential
+backoff before giving up.  The schedule used to be hard-coded; it is now
+a frozen policy object carried on :class:`~repro.lfs.config.LfsConfig`
+so experiments can tune how patient the disk is, and so the defaults
+are written down in exactly one place.
+
+The defaults reproduce the historical constants byte-for-byte: three
+attempts at 2 ms, 4 ms, 8 ms, far below the 50 ms cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidArgumentError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff schedule for transient read retries."""
+
+    base_delay: float = 0.002
+    """Backoff charged to the busy timeline for the first retry."""
+
+    multiplier: float = 2.0
+    """Growth factor between consecutive retries."""
+
+    cap: float = 0.05
+    """Upper bound on any single retry's backoff."""
+
+    max_attempts: int = 3
+    """Retries before the ``TransientIOError`` propagates."""
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0.0:
+            raise InvalidArgumentError(
+                f"retry base_delay must be >= 0: {self.base_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise InvalidArgumentError(
+                f"retry multiplier must be >= 1: {self.multiplier}"
+            )
+        if self.cap < self.base_delay:
+            raise InvalidArgumentError(
+                f"retry cap {self.cap} below base_delay {self.base_delay}"
+            )
+        if self.max_attempts < 0:
+            raise InvalidArgumentError(
+                f"retry max_attempts must be >= 0: {self.max_attempts}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff for retry number ``attempt`` (1-based), capped."""
+        return min(self.cap, self.base_delay * self.multiplier ** (attempt - 1))

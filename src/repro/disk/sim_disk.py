@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 
 from repro.disk.device import SectorDevice
 from repro.disk.geometry import DiskGeometry
+from repro.disk.retry import RetryPolicy
 from repro.disk.stats import DiskStats
 from repro.disk.trace import AccessTier, TraceEvent, TraceRecorder
 from repro.errors import OutOfRangeError, TransientIOError
@@ -39,8 +40,7 @@ class SimDisk:
         device: Optional[SectorDevice] = None,
         trace: Optional[TraceRecorder] = None,
         telemetry: Optional[Telemetry] = None,
-        read_retry_limit: int = 3,
-        retry_backoff: float = 0.002,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.geometry = geometry
         self.clock = clock
@@ -61,13 +61,17 @@ class SimDisk:
         self.stats = DiskStats()
         self._head_pos = 0
         self._busy_until = 0.0
-        # Transient read errors (see repro.faults) are retried with
-        # exponential backoff up to read_retry_limit times; each retry
-        # occupies the disk for the backoff interval.  Hard MediaErrors
-        # are never retried — they propagate to the caller immediately.
-        self.read_retry_limit = read_retry_limit
-        self.retry_backoff = retry_backoff
+        # Transient read errors (see repro.faults) are retried per the
+        # backoff policy; each retry occupies the disk for its backoff
+        # interval.  Hard MediaErrors are never retried — they propagate
+        # to the caller immediately.
+        self.retry = retry or RetryPolicy()
         self.read_retries = 0
+        # Busy-timeline seconds spent inside retry backoff.  Same plain-
+        # float contract as sync_stall_seconds below: the attribution
+        # probe diffs it on one process, so it must never become a
+        # merged counter.
+        self.retry_stall_seconds = 0.0
         # DiskStats stays the cheap always-on API; the registry mirrors it
         # so exported telemetry covers the disk layer too.  Instruments are
         # resolved once here; the hot paths below pay one boolean when
@@ -160,7 +164,7 @@ class SimDisk:
         multi-block transfer coalesced by the readahead pipeline (it
         only affects accounting, not timing).
 
-        Transient device errors are retried up to ``read_retry_limit``
+        Transient device errors are retried up to ``retry.max_attempts``
         times, each retry costing an exponentially growing backoff on
         the busy timeline; the last failure propagates.  Hard
         ``MediaError`` failures propagate immediately.
@@ -187,9 +191,11 @@ class SimDisk:
                 self.read_retries += 1
                 if self._obs_enabled:
                     self._m_retries.inc()
-                if attempt > self.read_retry_limit:
+                if attempt > self.retry.max_attempts:
                     raise
-                done += self.retry_backoff * (2 ** (attempt - 1))
+                backoff = self.retry.delay(attempt)
+                self.retry_stall_seconds += backoff
+                done += backoff
                 self._busy_until = done
         self.stats.record(False, len(data), True, tier.value, done - start)
         if self._obs_enabled:

@@ -89,6 +89,34 @@ class StaleHandleError(FileSystemError):
     """An operation used a handle whose file was deleted or FS unmounted."""
 
 
+class ReadOnlyFSError(FileSystemError):
+    """A mutation was attempted on a file system in degraded read-only
+    mode (EROFS).
+
+    Raised once the quarantine budget is exhausted: media damage has
+    destroyed more segments than the volume is allowed to silently lose,
+    so writes are refused while reads of surviving data continue.  The
+    service layer maps this to a ``REJECT_DEGRADED`` admission outcome
+    rather than letting it escape a request."""
+
+
+class ConfigError(InvalidArgumentError):
+    """A rig configuration violates one or more cross-field constraints.
+
+    Unlike :class:`InvalidArgumentError` (one bad field, raised by the
+    dataclass validators), this carries *every* violated constraint found
+    by :func:`repro.service.config.validate_rig` so a misconfigured rig
+    is fixed in one round trip."""
+
+    def __init__(self, violations) -> None:
+        self.violations = tuple(violations)
+        lines = "\n".join(f"  - {v}" for v in self.violations)
+        super().__init__(
+            f"invalid rig configuration ({len(self.violations)} "
+            f"constraint(s) violated):\n{lines}"
+        )
+
+
 class CorruptionError(FileSystemError):
     """On-disk state failed validation (bad magic, checksum, or pointer)."""
 

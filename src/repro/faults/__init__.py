@@ -15,15 +15,27 @@ from repro.faults.campaign import (
     run_campaign,
     run_trial,
 )
+from repro.faults.chaos import (
+    ChaosReport,
+    ChaosTrialResult,
+    DurabilityLedger,
+    run_chaos_campaign,
+    run_chaos_trial,
+)
 from repro.faults.device import FaultyDevice
 from repro.faults.injector import FaultConfig, FaultInjector
 
 __all__ = [
     "CampaignReport",
+    "ChaosReport",
+    "ChaosTrialResult",
+    "DurabilityLedger",
     "FaultConfig",
     "FaultInjector",
     "FaultyDevice",
     "TrialResult",
     "run_campaign",
+    "run_chaos_campaign",
+    "run_chaos_trial",
     "run_trial",
 ]

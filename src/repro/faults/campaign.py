@@ -311,7 +311,12 @@ def run_campaign(
     ``jobs`` value.
     """
     from repro.harness.parallel import merge_metric_samples, run_tasks
+    from repro.service.config import validate_rig
 
+    # Fail fast (with every violation listed) before forking workers:
+    # a bad trial configuration would otherwise surface as N identical
+    # mid-campaign crashes.
+    validate_rig(None, _trial_config(), device_bytes=device_bytes)
     report = CampaignReport(seed=seed)
     if jobs > 1:
         outcomes = run_tasks(

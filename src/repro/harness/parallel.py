@@ -30,7 +30,19 @@ __all__ = [
     "run_tasks",
     "merge_metric_samples",
     "export_telemetry_totals",
+    "GAUGE_MERGE_MAX",
 ]
+
+GAUGE_MERGE_MAX = frozenset({"fs.degraded"})
+"""Gauges that merge by ``max`` instead of summation.
+
+Most gauges are extensive end-of-run quantities (queue depth, dirty
+bytes) for which summing worker contributions matches what a single
+process would have accumulated.  A *sticky state flag* like
+``fs.degraded`` is different: it is 0 or 1 per rig, and the merged
+answer to "did any rig degrade?" is the maximum, not the count —
+summing would turn the flag into a tally and make ``--jobs N`` output
+diverge from serial runs that overwrite the gauge in place."""
 
 
 def available_jobs(requested: int) -> int:
@@ -145,7 +157,11 @@ def _merge_sample_list(
         if kind == "counter":
             telemetry.counter(name, **labels).inc(record["value"])
         elif kind == "gauge":
-            telemetry.gauge(name, **labels).add(record["value"])
+            gauge = telemetry.gauge(name, **labels)
+            if name in GAUGE_MERGE_MAX:
+                gauge.set(max(gauge.value, record["value"]))
+            else:
+                gauge.add(record["value"])
         elif kind == "histogram":
             bounds = [
                 bound

@@ -184,6 +184,8 @@ class SegmentCleaner:
         so exported traces tie reclamation work to the foreground write
         that paid for it.
         """
+        if self.fs.degraded:
+            return 0  # read-only volumes neither clean nor flush
         target = (
             self.fs.config.clean_high_water
             if target_clean is None
@@ -260,8 +262,17 @@ class SegmentCleaner:
                     usage.quarantine(seg)
                     self.stats.segments_quarantined += 1
                     self._m_quarantined.inc()
+                    self.fs.note_media_damage(reason="cleaner")
                     continue
                 occupied.append(seg)
+            if self.fs.degraded:
+                # The quarantine above exhausted the budget.  The
+                # relocation flush below is now forbidden (the fs is
+                # read-only), so end the pass without marking the
+                # occupied victims clean: their live blocks sit dirty in
+                # the cache and the on-disk copies remain referenced —
+                # unreclaimed but safe.
+                break
             if occupied:
                 # The write-back both copies the live data and
                 # checkpoints, so nothing durable references the victims

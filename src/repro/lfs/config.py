@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cache.writeback import WritebackConfig
+from repro.disk.retry import RetryPolicy
 from repro.errors import InvalidArgumentError
 from repro.units import KIB, MIB, SECTOR_SIZE
 
@@ -76,6 +77,24 @@ class LfsConfig:
     leave this at 0; benchmarks opt in explicitly.
     """
 
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    """Transient-read retry backoff pushed onto the disk timing layer.
+
+    The defaults reproduce the historical hard-coded schedule exactly
+    (2 ms base, doubling, three attempts), so existing seeded images
+    are unaffected unless a policy is supplied explicitly.
+    """
+
+    quarantine_budget: int = 4
+    """Media-damage strikes tolerated before degrading to read-only.
+
+    Each segment the cleaner quarantines and each unreadable sector
+    roll-forward survives counts one strike; exceeding the budget
+    transitions the file system to ``DEGRADED_READONLY`` (writes raise
+    :class:`~repro.errors.ReadOnlyFSError`, reads still served) instead
+    of letting a failing volume absorb damage silently forever.
+    """
+
     numpy_batch: bool = False
     """Use the numpy engine for u64 array (un)packing when available.
 
@@ -114,6 +133,10 @@ class LfsConfig:
         if self.readahead_blocks < 0:
             raise InvalidArgumentError(
                 f"readahead_blocks must be >= 0: {self.readahead_blocks}"
+            )
+        if self.quarantine_budget < 0:
+            raise InvalidArgumentError(
+                f"quarantine_budget must be >= 0: {self.quarantine_budget}"
             )
 
     @property

@@ -31,6 +31,7 @@ from repro.disk.sim_disk import SimDisk
 from repro.errors import (
     CorruptionError,
     NoSpaceError,
+    ReadOnlyFSError,
     StaleHandleError,
 )
 from repro.lfs.checkpoint import CheckpointData, CheckpointManager
@@ -155,6 +156,14 @@ class LogStructuredFS(BaseFileSystem):
         )
         self.last_recovery: Optional[RollForwardReport] = None
         self._flushing = False
+        # Degraded read-only state machine: media-damage strikes
+        # (quarantined segments, unreadable recovery sectors) accumulate
+        # until the quarantine budget is exhausted, then the fs stops
+        # accepting writes while continuing to serve reads.
+        self._degraded = False
+        self._media_strikes = 0
+        self._g_degraded = self.telemetry.gauge("fs.degraded")
+        disk.retry = config.retry
 
     # ------------------------------------------------------------------
     # Construction: mkfs and mount
@@ -223,6 +232,8 @@ class LogStructuredFS(BaseFileSystem):
             roll_forward=base.roll_forward,
             writeback=base.writeback,
             readahead_blocks=base.readahead_blocks,
+            retry=base.retry,
+            quarantine_budget=base.quarantine_budget,
         )
         fs = cls(disk, cpu, merged, telemetry=telemetry)
         checkpoint, _region = fs.checkpoints.load_latest()
@@ -240,8 +251,15 @@ class LogStructuredFS(BaseFileSystem):
         )
         if merged.roll_forward:
             fs.last_recovery = roll_forward(fs, checkpoint)
+            if fs.last_recovery.media_errors:
+                fs.note_media_damage(
+                    fs.last_recovery.media_errors, reason="recovery"
+                )
             if fs.last_recovery.partials_applied:
-                # Make the recovered state durable immediately.
+                # Make the recovered state durable immediately (a no-op
+                # if recovery damage just degraded the volume: the
+                # recovered state stays readable in memory, and writing
+                # to failing media would risk making things worse).
                 fs.flush_log(checkpoint=True)
         else:
             fs.last_recovery = RollForwardReport()
@@ -382,7 +400,13 @@ class LogStructuredFS(BaseFileSystem):
         With ``checkpoint`` the flush ends by writing a checkpoint
         region; with ``cleaner`` the write may dip into the reserved
         clean segments (it is the cleaning pass's own write-back).
+
+        A degraded (read-only) file system never flushes: the log must
+        not grow onto failing media, so dirty state stays in memory and
+        the call is a no-op.
         """
+        if self._degraded:
+            return
         if self._flushing and not cleaner:
             return
         self._flushing = True
@@ -721,6 +745,9 @@ class LogStructuredFS(BaseFileSystem):
         for handle in handles:
             self._handle_inode(handle)  # validates handle and mount state
             self.cpu.syscall()
+        # A degraded fs cannot make anything durable; acking an fsync
+        # here would promise persistence the volume can no longer give.
+        self._check_writable()
         self.monitor.note_explicit(WritebackReason.SYNC)
         self.flush_log()
         self.disk.drain()
@@ -733,19 +760,72 @@ class LogStructuredFS(BaseFileSystem):
     def clean_now(self, target_clean: Optional[int] = None) -> int:
         """User-initiated cleaning (§4.3.4's user-level process hook)."""
         self._check_mounted()
+        if self._degraded:
+            return 0
         return self.cleaner.clean(target_clean)
 
     def unmount(self) -> None:
         if self._unmounted:
             return
-        self.flush_log(checkpoint=True)
-        self.disk.drain()
+        if not self._degraded:
+            self.flush_log(checkpoint=True)
+            self.disk.drain()
         self._unmounted = True
 
     def crash(self) -> None:
         """Simulate an OS crash: in-flight disk writes are lost."""
         self.disk.crash()
         self._unmounted = True
+
+    # ------------------------------------------------------------------
+    # Degraded read-only mode
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the volume has dropped to read-only after media loss."""
+        return self._degraded
+
+    @property
+    def media_strikes(self) -> int:
+        """Accumulated media-damage strikes (vs. ``quarantine_budget``)."""
+        return self._media_strikes
+
+    def note_media_damage(self, strikes: int = 1, reason: str = "") -> None:
+        """Record unrecoverable media damage; degrade past the budget.
+
+        Called by the cleaner when it quarantines a victim segment and
+        by mount when roll-forward survived unreadable sectors.  Once
+        ``media_strikes`` exceeds ``config.quarantine_budget`` the file
+        system transitions (exactly once) to degraded read-only mode:
+        every mutating VFS entry point raises
+        :class:`~repro.errors.ReadOnlyFSError`, flushes become no-ops,
+        and reads of surviving data continue to be served.
+        """
+        if strikes <= 0:
+            return
+        self._media_strikes += strikes
+        if (
+            not self._degraded
+            and self._media_strikes > self._config.quarantine_budget
+        ):
+            self._enter_degraded(reason)
+
+    def _enter_degraded(self, reason: str) -> None:
+        self._degraded = True
+        self._g_degraded.set(1)
+        with self.telemetry.span(
+            "fs.degrade", strikes=self._media_strikes, reason=reason
+        ):
+            pass  # event span: marks the transition instant in traces
+
+    def _check_writable(self) -> None:
+        if self._degraded:
+            raise ReadOnlyFSError(
+                f"volume is degraded read-only: {self._media_strikes} "
+                f"media-damage strikes exceed quarantine budget "
+                f"{self._config.quarantine_budget}"
+            )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -160,11 +160,39 @@ def _roll_forward(
             report.segments_visited.append(seg)
 
     # Leave the log positioned exactly after the last applied partial.
-    next_seg = fallback_seg if fallback_seg is not None else checkpoint.position.next_segment
+    # Every segment the scan visited was consumed by the post-checkpoint
+    # log chain: it either holds applied partials (which live metadata
+    # references) or was at least claimed by the writer.  The replayed
+    # usage state can lag that by one flush (a segment's state change is
+    # logged one flush after the advance that caused it), so force them
+    # dirty — a stale CLEAN state here would let the writer or cleaner
+    # reuse a segment whose blocks the recovered file system still
+    # points at.
+    for visited_seg in report.segments_visited:
+        if visited_seg != seg:
+            fs.usage.force_state(visited_seg, SegmentState.DIRTY)
+    next_seg: Optional[int] = fallback_seg
     if next_seg == seg:
-        # Degenerate but possible if no partial was applied: keep the
-        # checkpointed pre-selection.
-        next_seg = checkpoint.position.next_segment
+        # The chain ended with the tail segment as its own successor:
+        # the writer advanced into its pre-selected segment and the
+        # flush that would have recorded a new choice never became
+        # durable.  A segment must never be its own successor — the
+        # writer would wrap onto the data it just wrote.
+        next_seg = None
+    if next_seg is None:
+        # The checkpointed pre-selection is no safer: the applied chain
+        # may have consumed it (the checkpoint's ``next`` is usually the
+        # first segment the chain visits).  Claim a replayed-clean
+        # segment the scan never touched; only a full disk leaves
+        # nothing better than the checkpointed choice.
+        visited = set(report.segments_visited)
+        visited.add(seg)
+        for candidate in fs.usage.clean_segments():
+            if candidate not in visited:
+                next_seg = candidate
+                break
+        if next_seg is None:
+            next_seg = checkpoint.position.next_segment
     fs.segments.restore(
         LogPosition(
             active_segment=seg,
@@ -175,6 +203,23 @@ def _roll_forward(
     )
     fs.usage.force_state(seg, SegmentState.ACTIVE)
     fs.usage.force_state(next_seg, SegmentState.ACTIVE)
+    # The recovered usage accounts can be stale for the log tail in two
+    # ways, and the writer's strict accounting (live <= capacity) will
+    # trip on either when it appends after recovery:
+    #
+    # * the replayed usage blocks may already include the partials this
+    #   scan re-estimated (they were logged *in* those partials), so the
+    #   active segment's account can be double-counted — but live bytes
+    #   never exceed the written prefix, so clamp there;
+    # * the summary chain proves ``next_seg`` was freshly claimed from
+    #   the clean list before the crash (its cleaning flush carries an
+    #   earlier sequence number, so it was replayed), but the usage
+    #   block recording the *zeroed* account lands one flush later and
+    #   may be lost — the pre-clean account survives as a stale hint.
+    #   Nothing has been written into the segment, so its account is 0.
+    fs.usage.clamp_live(seg, offset * fs.config.block_size)
+    if next_seg != seg:
+        fs.usage.clamp_live(next_seg, 0)
     report.recovery_seconds = fs.clock.now() - start_time
     return report
 

@@ -168,6 +168,22 @@ class SegmentUsage:
         info.last_write = now
         self._touch(seg)
 
+    def clamp_live(self, seg: int, max_bytes: int) -> None:
+        """Clamp a segment's live account to ``max_bytes`` (recovery).
+
+        Roll-forward can double-count the log tail: the replayed usage
+        blocks already include the partials' bytes, and the per-partial
+        re-estimate adds them again.  A segment's true live bytes can
+        never exceed its physically-written prefix, so clamping there
+        restores the ``live <= capacity`` invariant the writer's strict
+        :meth:`note_write` depends on when it appends into the
+        recovered tail segment.
+        """
+        info = self.info(seg)
+        if info.live_bytes > max_bytes:
+            self._set_live(info, max_bytes)
+            self._touch(seg)
+
     def force_state(self, seg: int, state: SegmentState) -> None:
         """Set a segment's state without transition checks (recovery)."""
         info = self.info(seg)

@@ -138,6 +138,18 @@ def build_trace_report(
         report["config"] = dict(config)
     if fs is not None and hasattr(fs, "wamp_report"):
         report["wamp"] = fs.wamp_report()
+    disk = getattr(fs, "disk", None)
+    if disk is not None and hasattr(disk, "retry_stall_seconds"):
+        # Transient-read retry backoff is part of the disk's busy
+        # timeline (it is inside ``lat.disk`` via sync_stall_seconds);
+        # surfacing it separately shows how much of the disk share was
+        # fault recovery rather than transfer time.
+        report["disk"] = {
+            "read_retries": getattr(disk, "read_retries", 0),
+            "retry_stall_seconds": round(
+                disk.retry_stall_seconds, _ROUND
+            ),
+        }
     return report
 
 
@@ -172,6 +184,13 @@ def render_trace_report(report: Dict[str, Any]) -> str:
             f"{wamp['write_amplification']:.4f} "
             f"(user={wamp['user_bytes']} log={wamp['log_bytes']} "
             f"cleaner={wamp['cleaner_bytes']})"
+        )
+    if "disk" in report:
+        disk = report["disk"]
+        lines.append(
+            f"disk retry stalls         "
+            f"{disk['read_retries']} retries, "
+            f"{disk['retry_stall_seconds']:.6f}s backoff"
         )
     links = report.get("links", {})
     if links:

@@ -66,6 +66,13 @@ METRIC_NAMES = frozenset(
         # -- file system (generic VFS layer) -------------------------------
         "fs.bytes_read",
         "fs.bytes_written",
+        "fs.degraded",
+        # -- chaos campaign --------------------------------------------------
+        "chaos.contract_checks",
+        "chaos.contract_violations",
+        "chaos.crashes_injected",
+        "chaos.resumed_clients",
+        "chaos.trials",
         # -- crash recovery -------------------------------------------------
         "recovery.blocks_recovered",
         "recovery.corrupt_entries_skipped",
@@ -74,6 +81,8 @@ METRIC_NAMES = frozenset(
         # -- multi-client service layer -------------------------------------
         "service.admitted",
         "service.commit_batch_size",
+        "service.degraded_failures",
+        "service.rejected_degraded",
         "service.commits",
         "service.completed",
         "service.forced_admissions",
@@ -101,6 +110,7 @@ SPAN_KINDS = frozenset(
         "cleaner.relocate_segment",
         "disk.read",
         "disk.write",
+        "fs.degrade",
         "fs.write",
         "recovery.roll_forward",
         "service.admission_retry",
@@ -122,10 +132,21 @@ LINK_COMMITS = "commits"
 
 LINK_RELATIONS = frozenset({LINK_PAYS_FOR, LINK_COMMITS})
 
+GAUGE_MERGE_MAX = frozenset({"fs.degraded"})
+"""Gauges that merge across parallel workers by ``max``, not by sum.
+
+Most gauges are level samples whose per-worker values add (queue depth,
+clean reserve).  Set-style flags do not: ``fs.degraded`` is 0 or 1 per
+rig, and summing two degraded workers would print ``2`` — a value no
+sequential run can produce.  :func:`repro.harness.parallel.
+merge_metric_samples` consults this table so ``--jobs N`` output stays
+byte-identical to ``--jobs 1``."""
+
 __all__ = [
     "METRIC_NAMES",
     "SPAN_KINDS",
     "LINK_RELATIONS",
     "LINK_PAYS_FOR",
     "LINK_COMMITS",
+    "GAUGE_MERGE_MAX",
 ]

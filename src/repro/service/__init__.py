@@ -9,7 +9,7 @@ when the cleaner's clean-segment reserve runs low.
 
 from repro.service.admission import AdmissionController, Decision
 from repro.service.committer import GroupCommitter
-from repro.service.config import DEFAULT_MIX, ServiceConfig
+from repro.service.config import DEFAULT_MIX, ServiceConfig, validate_rig
 from repro.service.scheduler import (
     ClientStream,
     Request,
@@ -37,4 +37,5 @@ __all__ = [
     "ServiceConfig",
     "ServiceStats",
     "simulate_service",
+    "validate_rig",
 ]

@@ -45,6 +45,12 @@ class Decision(enum.Enum):
     ADMIT = "admit"
     THROTTLE = "throttle"
     REJECT = "reject"
+    REJECT_DEGRADED = "reject-degraded"
+    """Write-class request shed because the fs is degraded read-only.
+
+    Distinct from ``REJECT`` (queue full — retry later): a degraded
+    volume will not accept this write however long the client waits, so
+    the scheduler abandons the request instead of backing off."""
 
 
 class AdmissionController:
@@ -76,6 +82,7 @@ class AdmissionController:
         self._m_throttles = obs.counter("service.throttle_events")
         self._m_throttle_s = obs.counter("service.throttle_seconds")
         self._m_forced = obs.counter("service.forced_admissions")
+        self._m_rejected_degraded = obs.counter("service.rejected_degraded")
 
     # ------------------------------------------------------------------
     # The two gates
@@ -86,6 +93,13 @@ class AdmissionController:
 
     def try_admit(self, kind: str, throttle_count: int = 0) -> Decision:
         """Decide a request's fate; ADMIT increments the queue depth."""
+        if kind in WRITE_CLASS and self.fs.degraded:
+            # A read-only volume serves reads indefinitely but can never
+            # accept this write: shed it outright (no backoff, no
+            # throttle — cleaning cannot fix missing media).
+            self.stats.rejected_degraded += 1
+            self._m_rejected_degraded.inc()
+            return Decision.REJECT_DEGRADED
         if self.in_flight >= self.capacity:
             self.stats.rejections += 1
             self._m_rejected.inc()

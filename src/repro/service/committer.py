@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
 
+from repro.errors import ReadOnlyFSError
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.obs.context import NULL_TRACE_CONTEXT, StallProbe
 from repro.service.config import ServiceConfig
@@ -46,9 +47,22 @@ class GroupCommitter:
         self.config = config
         self.stats = stats
         self._enqueue = enqueue
-        self._waiters: List[Tuple[FileHandle, Callable[[], None], Any]] = []
+        self._waiters: List[
+            Tuple[
+                FileHandle,
+                Callable[[], None],
+                Optional[Callable[[], None]],
+                Any,
+            ]
+        ] = []
         self._window_open = False
         self.commits = 0
+        self.failed_commits = 0
+        # Durability-barrier hook: called after every *successful*
+        # fsync_many (flush + drain), i.e. at the instant everything
+        # written so far became durable.  The chaos campaign's ledger
+        # advances its durable floors here.
+        self.on_durable: Optional[Callable[[], None]] = None
         self.telemetry = telemetry or NULL_TELEMETRY
         self._probe = StallProbe(fs)
         obs = self.telemetry
@@ -71,6 +85,7 @@ class GroupCommitter:
         handle: FileHandle,
         done: Callable[[], None],
         ctx: Any = NULL_TRACE_CONTEXT,
+        fail: Optional[Callable[[], None]] = None,
     ) -> None:
         """Join the current commit window (opening one if needed).
 
@@ -78,8 +93,12 @@ class GroupCommitter:
         flush that covers ``handle`` is durable.  ``ctx`` is the
         request's trace context: its commit wait ends when the flush
         starts, and the shared flush time is attributed to it.
+        ``fail`` runs instead of ``done`` when the flush is refused
+        because the file system degraded to read-only (without it the
+        waiter is completed via ``done`` — callers that distinguish a
+        refused fsync from a durable one must supply ``fail``).
         """
-        self._waiters.append((handle, done, ctx))
+        self._waiters.append((handle, done, fail, ctx))
         if not self._window_open:
             self._window_open = True
             deadline = self.fs.clock.now() + self.config.commit_window
@@ -97,17 +116,28 @@ class GroupCommitter:
         # charged the *full* shared flush — each request's wall clock
         # genuinely spans it — with one counter sample split applied to
         # all of them.
-        traced = [ctx for _h, _d, ctx in batch if ctx]
+        traced = [ctx for _h, _d, _f, ctx in batch if ctx]
         for ctx in traced:
             ctx.end_wait()
         before = self._probe.sample() if traced else None
         flush_start = self.fs.clock.now()
+        refused = False
         with self.telemetry.span(
             "service.group_commit", batch=len(batch)
         ) as span:
             for ctx in traced:
                 span.add_link(ctx.root_id, "commits")
-            self.fs.fsync_many([handle for handle, _done, _ctx in batch])
+            try:
+                self.fs.fsync_many(
+                    [handle for handle, _done, _fail, _ctx in batch]
+                )
+            except ReadOnlyFSError:
+                # The volume degraded between the window opening and
+                # closing: nothing became durable, so the waiters must
+                # not be acked.  Fail them politely instead of letting
+                # the error escape into the scheduler's run loop.
+                refused = True
+                span.set_attr("refused_degraded", True)
         if traced:
             elapsed = self.fs.clock.now() - flush_start
             after = self._probe.sample()
@@ -118,12 +148,19 @@ class GroupCommitter:
             )
             for ctx in traced:
                 ctx.charge_split(elapsed, delta)
+        if refused:
+            self.failed_commits += 1
+            for _handle, done, fail, _ctx in batch:
+                self._enqueue(fail if fail is not None else done)
+            return
+        if self.on_durable is not None:
+            self.on_durable()
         self.commits += 1
         self.stats.note_batch(len(batch))
         self._m_commits.inc()
         self._m_fsyncs.inc(len(batch))
         self._h_batch.observe(len(batch))
-        for _handle, done, _ctx in batch:
+        for _handle, done, _fail, _ctx in batch:
             self._enqueue(done)
 
     def flush_now(self) -> None:

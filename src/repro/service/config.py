@@ -11,9 +11,9 @@ are simulated seconds on the shared :class:`~repro.sim.clock.SimClock`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional
 
-from repro.errors import InvalidArgumentError
+from repro.errors import ConfigError, InvalidArgumentError
 from repro.units import KIB
 
 DEFAULT_MIX: Dict[str, float] = {
@@ -130,3 +130,80 @@ class ServiceConfig:
     @property
     def effective_capacity(self) -> int:
         return self.admission_capacity or max(16, 4 * self.num_clients)
+
+
+def validate_rig(
+    service: Optional[ServiceConfig],
+    lfs,
+    device_bytes: Optional[int] = None,
+) -> None:
+    """Cross-check a service rig's configuration before it boots.
+
+    Each dataclass validates its own fields in isolation; this checks
+    the *relationships* a live rig depends on — segment size vs. cache
+    size, watermarks vs. segment count, payloads vs. segments, the
+    readahead window vs. the cache — and raises one typed
+    :class:`~repro.errors.ConfigError` carrying **every** violated
+    constraint, so a misconfigured rig is fixed in a single round trip
+    instead of one rejection at a time.  ``device_bytes`` enables the
+    capacity checks (skipped when the device size is not yet known);
+    ``service=None`` validates a bare file-system rig (crashtest) and
+    skips the service-coupled checks.
+    """
+    violations: List[str] = []
+    if lfs.cache_bytes < 2 * lfs.segment_size:
+        violations.append(
+            f"cache_bytes ({lfs.cache_bytes}) below two segments "
+            f"({2 * lfs.segment_size}): the write-back path needs room "
+            f"to assemble a full segment while absorbing new dirty data"
+        )
+    if lfs.readahead_blocks > 0:
+        window_bytes = lfs.readahead_blocks * lfs.block_size
+        if window_bytes > lfs.cache_bytes // 4:
+            violations.append(
+                f"readahead window ({window_bytes} bytes) exceeds a "
+                f"quarter of the cache ({lfs.cache_bytes} bytes): "
+                f"prefetch would evict its own payload"
+            )
+    if service is not None and service.write_max_bytes > lfs.segment_size:
+        violations.append(
+            f"write_max_bytes ({service.write_max_bytes}) exceeds the "
+            f"segment size ({lfs.segment_size}): one payload could "
+            f"never fit a single log write"
+        )
+    if device_bytes is not None:
+        from repro.lfs.config import LfsLayout
+
+        num_segments = LfsLayout.for_device(lfs, device_bytes).num_segments
+        if lfs.clean_high_water >= num_segments:
+            violations.append(
+                f"clean_high_water ({lfs.clean_high_water}) is not "
+                f"below the device's segment count ({num_segments}): "
+                f"the cleaner's target is unreachable"
+            )
+        # The admission watermark sits reserve_watermark above the fs's
+        # own clean_low_water (see AdmissionController); if the sum of
+        # hard reserve + watermark cannot fit, throttling engages
+        # immediately and permanently.
+        watermark = service.reserve_watermark if service is not None else 0
+        floor = (
+            lfs.cleaner_reserve_segments + lfs.clean_low_water + watermark
+        )
+        if floor >= num_segments:
+            violations.append(
+                f"cleaner_reserve_segments + clean_low_water + "
+                f"reserve_watermark ({floor}) leaves no serviceable "
+                f"segments on a {num_segments}-segment device"
+            )
+        if (
+            service is not None
+            and service.fill_fraction > 0
+            and num_segments < 8
+        ):
+            violations.append(
+                f"fill_fraction {service.fill_fraction} needs room to "
+                f"fragment, but the device has only {num_segments} "
+                f"segments (minimum 8)"
+            )
+    if violations:
+        raise ConfigError(violations)

@@ -33,14 +33,14 @@ import random
 from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
 
-from repro.errors import NoSpaceError
+from repro.errors import MediaError, NoSpaceError, ReadOnlyFSError
 from repro.lfs.filesystem import LogStructuredFS
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.obs.context import NULL_TRACE_CONTEXT, RequestTracer
 from repro.obs.registry import DEFAULT_TIME_BUCKETS
 from repro.service.admission import AdmissionController, Decision
 from repro.service.committer import GroupCommitter
-from repro.service.config import ServiceConfig
+from repro.service.config import ServiceConfig, validate_rig
 from repro.service.stats import REQUEST_KINDS, ServiceStats
 from repro.units import MIB
 
@@ -125,26 +125,46 @@ class RequestScheduler:
         fs: LogStructuredFS,
         config: ServiceConfig,
         telemetry: Optional[Telemetry] = None,
+        clients: Optional[List[ClientStream]] = None,
+        ledger=None,
     ) -> None:
+        """``clients`` resumes existing streams (rng, issued/completed
+        counts and working sets intact) against ``fs`` — the chaos
+        campaign uses this to continue surviving clients on a recovered
+        image.  ``ledger`` is an optional durability-contract recorder
+        (see :class:`repro.faults.chaos.DurabilityLedger`) notified of
+        every mutation and every client-visible fsync ack."""
         self.fs = fs
         self.clock = fs.clock
         self.config = config
         self.stats = ServiceStats()
         self.telemetry = telemetry or NULL_TELEMETRY
         self.tracing = RequestTracer(self.telemetry, fs)
+        self.ledger = ledger
         self.admission = AdmissionController(
             fs, config, self.stats, telemetry=self.telemetry
         )
         self.committer = GroupCommitter(
             fs, config, self.stats, self._enqueue, telemetry=self.telemetry
         )
-        self.clients = [
-            ClientStream(i, config) for i in range(config.num_clients)
-        ]
+        if ledger is not None:
+            self.committer.on_durable = ledger.note_barrier
+        self.clients = (
+            clients
+            if clients is not None
+            else [ClientStream(i, config) for i in range(config.num_clients)]
+        )
         for client in self.clients:
-            fs.mkdir(client.directory)
+            # On a resumed rig the directory usually already exists (and
+            # a degraded volume could not create it anyway).
+            if not fs.degraded and not fs.exists(client.directory):
+                fs.mkdir(client.directory)
         self._ready: Deque[Callable[[], None]] = deque()
-        self._active_clients = config.num_clients
+        self._active_clients = sum(
+            1
+            for client in self.clients
+            if client.issued < config.requests_per_client
+        )
         obs = self.telemetry
         self._m_requests = {
             kind: obs.counter("service.requests", kind=kind)
@@ -152,6 +172,7 @@ class RequestScheduler:
         }
         self._m_completed = obs.counter("service.completed")
         self._m_no_space = obs.counter("service.no_space_failures")
+        self._m_degraded_failures = obs.counter("service.degraded_failures")
         self._h_latency = {
             kind: obs.histogram(
                 "service.latency_seconds",
@@ -182,6 +203,8 @@ class RequestScheduler:
             "service.run", clients=self.config.num_clients
         ) as span:
             for client in self.clients:
+                if client.issued >= self.config.requests_per_client:
+                    continue  # resumed stream that already finished
                 self._post_at(
                     self.clock.now() + client.think(),
                     lambda client=client: self._tick(client),
@@ -229,12 +252,33 @@ class RequestScheduler:
                 lambda: self._submit(request),
             )
             return
+        if decision is Decision.REJECT_DEGRADED:
+            self._abandon(request)
+            return
         if decision is Decision.THROTTLE:
             request.throttles += 1
             self.admission.pay_throttle(request.ctx)  # advances sim time
             self._enqueue(lambda: self._submit(request))
             return
         self._execute(request)
+
+    def _abandon(self, request: Request) -> None:
+        """Drop a write the degraded volume can never serve.
+
+        Unlike a ``REJECT`` (queue full), no retry can help, so the
+        request ends here — never admitted, so no ``release()`` — and
+        the client moves on to its next request (its reads keep being
+        served).
+        """
+        client = self._client(request)
+        request.ctx.finish(self.clock.now() - request.arrival)
+        if client.issued < self.config.requests_per_client:
+            self._post_at(
+                self.clock.now() + client.think(),
+                lambda: self._tick(client),
+            )
+        else:
+            self._active_clients -= 1
 
     def _client(self, request: Request) -> ClientStream:
         return self.clients[request.client_id]
@@ -251,6 +295,7 @@ class RequestScheduler:
                     handle,
                     lambda: self._finish_fsync(request, handle),
                     ctx=request.ctx,
+                    fail=lambda: self._fail_fsync(request, handle),
                 )
                 return  # completes when the commit window closes
             if request.kind == "write":
@@ -262,7 +307,13 @@ class RequestScheduler:
                 self.fs.open(client.pick_file()).close()
             elif request.kind == "delete":
                 path = client.pick_file()
-                self.fs.unlink(path)
+                try:
+                    self.fs.unlink(path)
+                finally:
+                    # Same finally-note rationale as _do_write: an
+                    # escaping NoSpaceError/crash fires post-mutation.
+                    if self.ledger is not None:
+                        self.ledger.note_unlink(path)
                 client.files.remove(path)
                 if client.last_written == path:
                     client.last_written = None
@@ -273,9 +324,26 @@ class RequestScheduler:
             # intact) and the failure is visible in the report.
             self.stats.dropped += 1
             self._m_no_space.inc()
+        except ReadOnlyFSError:
+            # The volume degraded between admission and execution (the
+            # cleaner can trip the quarantine budget from inside another
+            # request's flush).  Admission sheds subsequent writes; this
+            # in-flight one fails politely.
+            self.stats.degraded_failures += 1
+            self._m_degraded_failures.inc()
+        except MediaError:
+            # Unrecoverable media under a read: the data is gone, which
+            # is detection, not a scheduler failure.  The request is
+            # dropped and the damage shows up in the fault counters.
+            self.stats.dropped += 1
         self._complete(request)
 
     def _do_write(self, client: ClientStream) -> None:
+        # Ledger notes are taken in ``finally`` blocks on purpose: the
+        # whole mutation enters the cache before any write-back runs, so
+        # every exception that can escape these calls (NoSpaceError from
+        # the flush, an injected crash) fires *after* the client-visible
+        # state changed — the mutation must be on the books either way.
         data = client.write_payload()
         create = len(client.files) < self.config.min_files_per_client or (
             len(client.files) < self.config.max_files_per_client
@@ -283,8 +351,15 @@ class RequestScheduler:
         )
         if create:
             path = client.new_path()
-            with self.fs.create(path) as handle:
-                handle.write(data)
+            handle = self.fs.create(path)
+            if self.ledger is not None:
+                self.ledger.note_create(path, handle.inum)
+            with handle:
+                try:
+                    handle.write(data)
+                finally:
+                    if self.ledger is not None:
+                        self.ledger.note_write(path, 0, data)
             client.files.append(path)
         else:
             path = client.pick_file()
@@ -292,12 +367,33 @@ class RequestScheduler:
                 offset = handle.size
                 if offset + len(data) > MAX_FILE_BYTES:
                     offset = 0
-                handle.pwrite(offset, data)
+                try:
+                    handle.pwrite(offset, data)
+                finally:
+                    if self.ledger is not None:
+                        self.ledger.note_write(path, offset, data)
         client.last_written = path
 
     def _finish_fsync(self, request: Request, handle) -> None:
         request.ctx.activate()
+        if self.ledger is not None:
+            self.ledger.note_ack(
+                handle.path, handle.inum, self.clock.now(), request.ctx
+            )
         handle.close()
+        self._complete(request)
+
+    def _fail_fsync(self, request: Request, handle) -> None:
+        """Complete an fsync whose flush was refused (degraded volume).
+
+        The client is *not* acked — nothing became durable — but the
+        admitted request must still release its admission slot and let
+        the stream continue.
+        """
+        request.ctx.activate()
+        handle.close()
+        self.stats.degraded_failures += 1
+        self._m_degraded_failures.inc()
         self._complete(request)
 
     def _complete(self, request: Request) -> None:
@@ -423,6 +519,7 @@ def simulate_service(
             cache_bytes=2 * MIB,
             max_inodes=4096,
         )
+    validate_rig(config, lfs_config, device_bytes=total_bytes)
     from repro.lfs.filesystem import make_lfs
 
     fs = make_lfs(

@@ -35,6 +35,8 @@ class ServiceStats:
     completed: int = 0
     dropped: int = 0
     rejections: int = 0
+    rejected_degraded: int = 0
+    degraded_failures: int = 0
     throttle_events: int = 0
     throttle_seconds: float = 0.0
     forced_admissions: int = 0
@@ -96,6 +98,8 @@ class ServiceStats:
             "completed": self.completed,
             "dropped": self.dropped,
             "rejections": self.rejections,
+            "rejected_degraded": self.rejected_degraded,
+            "degraded_failures": self.degraded_failures,
             "throughput_per_second": round(self.throughput, 6),
             "latency_p50_seconds": round(percentile(merged, 0.50), 9),
             "latency_p99_seconds": round(percentile(merged, 0.99), 9),
@@ -142,4 +146,9 @@ class ServiceStats:
         lines.append(
             f"  background flushes: {self.background_flushes}"
         )
+        if self.rejected_degraded or self.degraded_failures:
+            lines.append(
+                f"  degraded: {self.rejected_degraded} writes shed, "
+                f"{self.degraded_failures} in-flight failures"
+            )
         return "\n".join(lines)

@@ -3,7 +3,8 @@ about: unused imports, write-only local variables, instrumented modules
 that bypass the telemetry registry with bare ``print`` (OBS001) or
 emit metric/span names missing from the registered vocabulary
 (OBS002), broad ``except`` clauses in the crash-recovery modules
-(FAULT001), wall-clock calls in the simulated-time service layer
+(FAULT001) and in the crash-under-load chaos/scheduler modules
+(FAULT002), wall-clock calls in the simulated-time service layer
 (SVC001), and buffer copies on the zero-copy data path (ALLOC001).
 
 The container this project builds in has no third-party linter, so this
@@ -304,6 +305,42 @@ def _check_recovery_broad_except(
             )
 
 
+_CHAOS_TYPED_FILES = (
+    "repro/faults/chaos.py",
+    "repro/service/scheduler.py",
+)
+"""Crash-under-load modules where every caught exception must be typed.
+
+The chaos campaign's contract is that a crash mid-request never leaves
+the scheduler loop via anything but a typed error or the deliberate
+:class:`~repro.faults.chaos.CrashSignal`.  A blanket ``except
+Exception`` in the scheduler would absorb the injected crash (or a real
+defect) and report a clean trial; in the chaos driver it would mask a
+checker bug as a passing campaign.  The one legitimate campaign-level
+outcome classifier carries an explicit ``# noqa: FAULT002``."""
+
+
+def _check_chaos_broad_except(
+    path: str, tree: ast.Module, noqa: Set[int]
+) -> Iterator[Tuple[str, int, str]]:
+    normalized = path.replace(os.sep, "/")
+    if not normalized.endswith(_CHAOS_TYPED_FILES):
+        return
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.ExceptHandler)
+            and _is_broad_handler(node)
+            and node.lineno not in noqa
+        ):
+            yield (
+                path,
+                node.lineno,
+                "FAULT002 broad `except` in a crash-under-load module; "
+                "catch typed repro.errors classes (or CrashSignal) so "
+                "injected crashes and real defects stay distinguishable",
+            )
+
+
 _SERVICE_DIR = "repro/service/"
 _WALL_CLOCK_ATTRS = ("time", "sleep", "monotonic", "perf_counter")
 """Wall-clock entry points of the ``time`` module.
@@ -417,6 +454,7 @@ def lint_file(path: str) -> List[Tuple[str, int, str]]:
     findings.extend(_check_obs_print_bypass(path, tree, noqa))
     findings.extend(_check_obs_registered_names(path, tree, noqa))
     findings.extend(_check_recovery_broad_except(path, tree, noqa))
+    findings.extend(_check_chaos_broad_except(path, tree, noqa))
     findings.extend(_check_service_wall_clock(path, tree, noqa))
     findings.extend(
         _check_hot_path_allocs(path, tree, noqa, _alloc_ok_lines(source))

@@ -605,8 +605,19 @@ class BaseFileSystem(StorageManager):
         if self._unmounted:
             raise StaleHandleError("file system is unmounted")
 
+    def _check_writable(self) -> None:
+        """Hook run before every mutating operation.
+
+        The base implementation allows all writes; a storage manager
+        that supports a degraded read-only mode (see
+        :meth:`repro.lfs.LogStructuredFS.degraded`) overrides this to
+        raise :class:`~repro.errors.ReadOnlyFSError` so mutations are
+        refused uniformly at the VFS entry points while reads continue.
+        """
+
     def create(self, path: str) -> FileHandle:
         self._check_mounted()
+        self._check_writable()
         self.cpu.syscall()
         parent, name = self._resolve_parent(path)
         if self._dir_lookup(parent, name) is not None:
@@ -640,6 +651,7 @@ class BaseFileSystem(StorageManager):
 
     def unlink(self, path: str) -> None:
         self._check_mounted()
+        self._check_writable()
         self.cpu.syscall()
         parent, name = self._resolve_parent(path)
         child = self._dir_lookup(parent, name)
@@ -663,6 +675,7 @@ class BaseFileSystem(StorageManager):
 
     def mkdir(self, path: str) -> None:
         self._check_mounted()
+        self._check_writable()
         self.cpu.syscall()
         parent, name = self._resolve_parent(path)
         if self._dir_lookup(parent, name) is not None:
@@ -693,6 +706,7 @@ class BaseFileSystem(StorageManager):
 
     def rmdir(self, path: str) -> None:
         self._check_mounted()
+        self._check_writable()
         self.cpu.syscall()
         parent, name = self._resolve_parent(path)
         child = self._dir_lookup(parent, name)
@@ -720,6 +734,7 @@ class BaseFileSystem(StorageManager):
 
     def rename(self, old_path: str, new_path: str) -> None:
         self._check_mounted()
+        self._check_writable()
         self.cpu.syscall()
         old_parent, old_name = self._resolve_parent(old_path)
         child = self._dir_lookup(old_parent, old_name)
@@ -811,6 +826,7 @@ class BaseFileSystem(StorageManager):
 
     def _pwrite(self, handle: FileHandle, offset: int, data: bytes) -> int:
         inode = self._handle_inode(handle)
+        self._check_writable()
         self.cpu.syscall()
         nblocks = max(1, (len(data) + self.block_size - 1) // self.block_size)
         self.cpu.block_touch(nblocks)
@@ -823,6 +839,7 @@ class BaseFileSystem(StorageManager):
 
     def ftruncate(self, handle: FileHandle, size: int) -> None:
         inode = self._handle_inode(handle)
+        self._check_writable()
         self.cpu.syscall()
         self._truncate(inode, size)
         self._maybe_writeback()

@@ -112,6 +112,20 @@ class TestMergeMetricSamples:
             == 0
         )
 
+    def test_sticky_gauges_merge_by_max_not_sum(self):
+        # fs.degraded is a state flag, not a quantity: four degraded
+        # workers merge to 1, not 4 — and a healthy worker (0) must not
+        # clear a degraded one's flag.
+        merged = Telemetry()
+        for value in (1, 0, 1, 1):
+            worker = Telemetry()
+            worker.gauge("fs.degraded").set(value)
+            worker.gauge("cache.bytes").set(10)
+            samples = worker.registry.to_dict()["metrics"]
+            merge_metric_samples(merged, samples)
+        assert merged.gauge("fs.degraded").value == 1
+        assert merged.gauge("cache.bytes").value == 40  # sum, as before
+
 
 def _record_with_spans(telemetry, scale):
     _record(telemetry, scale)

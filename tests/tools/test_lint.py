@@ -119,6 +119,46 @@ class TestRecoveryBroadExcept:
         assert not any("FAULT001" in m for _, _, m in lint_file(path))
 
 
+class TestChaosBroadExcept:
+    # FAULT002: the crash-under-load modules must keep injected
+    # crashes (CrashSignal) distinguishable from real defects, so a
+    # broad handler that would swallow both is banned.
+
+    def test_flags_except_exception_in_chaos(self, tmp_path):
+        path = write_module(tmp_path, "repro/faults/chaos.py", BROAD_EXCEPT)
+        assert any("FAULT002" in m for _, _, m in lint_file(path))
+
+    def test_flags_bare_except_in_scheduler(self, tmp_path):
+        source = "try:\n    x = 1\nexcept:\n    pass\n"
+        path = write_module(tmp_path, "repro/service/scheduler.py", source)
+        assert any("FAULT002" in m for _, _, m in lint_file(path))
+
+    def test_typed_except_is_fine(self, tmp_path):
+        source = (
+            "from repro.errors import ReproError\n"
+            "try:\n"
+            "    x = 1\n"
+            "except ReproError:\n"
+            "    pass\n"
+        )
+        path = write_module(tmp_path, "repro/faults/chaos.py", source)
+        assert not any("FAULT002" in m for _, _, m in lint_file(path))
+
+    def test_other_modules_unaffected(self, tmp_path):
+        path = write_module(tmp_path, "repro/faults/campaign.py", BROAD_EXCEPT)
+        assert not any("FAULT002" in m for _, _, m in lint_file(path))
+
+    def test_noqa_suppresses_the_finding(self, tmp_path):
+        source = (
+            "try:\n"
+            "    x = 1\n"
+            "except Exception:  # noqa: FAULT002\n"
+            "    pass\n"
+        )
+        path = write_module(tmp_path, "repro/faults/chaos.py", source)
+        assert not any("FAULT002" in m for _, _, m in lint_file(path))
+
+
 class TestRepoIsClean:
     def test_src_tests_benchmarks_lint_clean(self, capsys):
         repo_root = os.path.dirname(
