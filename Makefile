@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench bench-diff trace crashtest chaos service-bench ci
+.PHONY: test lint bench-smoke bench bench-diff trace crashtest chaos service-bench cluster-bench ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -80,4 +80,27 @@ chaos:
 service-bench:
 	$(PYTHON) -m repro.service.bench --smoke
 
-ci: lint test bench-smoke bench-diff service-bench crashtest chaos
+# Sharded scale-out smoke: a tiny cluster sweep run twice (serial and
+# jobs=2) whose reports must be byte-identical — the shard-group
+# merge discipline makes simulated numbers a pure function of the
+# seed, so any divergence is a determinism bug, and `repro bench-diff`
+# gates the throughput/p99 numbers point by point on top.  The final
+# step regenerates the cluster section onto a copy of the committed
+# BENCH_service.json and diffs it, exercising the service-report
+# bench-diff dispatch end to end.  Every run exits nonzero if any
+# shard image fails verification.
+cluster-bench:
+	$(PYTHON) -m repro.cluster.bench --smoke \
+		--output /tmp/BENCH_cluster_a.json
+	$(PYTHON) -m repro.cluster.bench --smoke --jobs 2 \
+		--output /tmp/BENCH_cluster_b.json
+	diff /tmp/BENCH_cluster_a.json /tmp/BENCH_cluster_b.json
+	$(PYTHON) -m repro bench-diff /tmp/BENCH_cluster_a.json \
+		/tmp/BENCH_cluster_b.json --max-regression 0.001
+	cp BENCH_service.json /tmp/BENCH_service_new.json
+	$(PYTHON) -m repro.cluster.bench --smoke \
+		--output /tmp/BENCH_service_new.json
+	$(PYTHON) -m repro bench-diff BENCH_service.json \
+		/tmp/BENCH_service_new.json
+
+ci: lint test bench-smoke bench-diff service-bench cluster-bench crashtest chaos

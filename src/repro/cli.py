@@ -18,13 +18,21 @@ Commands::
     fsck IMAGE                                check/repair an FFS image
     fig {1,3,4,5,scaling,recovery}            run a paper experiment
     stats IMAGE                               mount with telemetry, report
+    stats A.jsonl B.jsonl ...                 merge exported telemetry
+                                              streams and report
     crashtest --trials N --seed S             crash+corruption campaign
     chaos --trials N --seed S --clients C     crash-under-load campaign with
                                               durability-contract checking
     serve-sim --clients N --seed S            multi-client service sim
+                                              (--record REQ.JSONL captures
+                                              the request stream)
+    cluster-sim --shards S --clients N        sharded scale-out run with
+                                              optional live migration
+                                              (--migrate SRC:DST@T)
     trace --clients N --seed S                traced service run + latency
                                               attribution (BENCH_trace.json)
     bench-diff A.json B.json                  compare two perf reports
+                                              (hotpaths or service/cluster)
 
 ``fig --telemetry out.jsonl`` records the experiment's metrics and
 spans (see :mod:`repro.obs`) and writes them as JSONL for offline
@@ -319,20 +327,42 @@ def _exercise_reads(fs, pattern: str, chunk_blocks: int = 4) -> int:
 
 
 def cmd_stats(args) -> int:
-    from repro.obs import Telemetry, export_jsonl, render_report
+    from repro.obs import (
+        Telemetry,
+        export_jsonl,
+        merge_jsonl_files,
+        render_report,
+    )
 
+    if all(path.endswith(".jsonl") for path in args.inputs):
+        # Telemetry-stream mode: fold one or more exported JSONL
+        # streams (one per shard rig, say) into a single report — the
+        # same merge arithmetic the parallel runner uses.
+        merged = merge_jsonl_files(args.inputs)
+        title = ", ".join(args.inputs)
+        print(render_report(merged, title=f"merged {title}"))
+        if args.telemetry:
+            lines = export_jsonl(merged, args.telemetry)
+            print(f"telemetry: {lines} records -> {args.telemetry}")
+        return 0
+    if len(args.inputs) != 1:
+        raise ReproError(
+            "stats takes either one device image or telemetry .jsonl "
+            "files (all arguments must end in .jsonl to merge)"
+        )
+    image = args.inputs[0]
     telemetry = Telemetry()
     # Readahead is armed for either exercise pattern: the point of the
     # random-read leg is that the policy itself declines to prefetch
     # (cache.readahead_hits stays 0), not that it was switched off.
     readahead = args.readahead if args.exercise else 0
     fs, _device = _open_image(
-        args.image, telemetry=telemetry, readahead=readahead
+        image, telemetry=telemetry, readahead=readahead
     )
     if args.exercise:
         nbytes = _exercise_reads(fs, args.exercise)
         print(f"exercised {args.exercise}: {nbytes} bytes read")
-    print(render_report(telemetry, title=f"mount {args.image}"))
+    print(render_report(telemetry, title=f"mount {image}"))
     print("-- disk --")
     print(f"  {fs.disk.stats.summary()}")
     if args.telemetry:
@@ -386,8 +416,10 @@ def cmd_chaos(args) -> int:
 def cmd_serve_sim(args) -> int:
     from repro.obs import Telemetry, export_jsonl
     from repro.service import ServiceConfig, simulate_service
+    from repro.service.recording import RequestRecorder
 
     telemetry = Telemetry() if args.telemetry else None
+    recorder = RequestRecorder() if args.record else None
     config = ServiceConfig(
         num_clients=args.clients,
         seed=args.seed,
@@ -396,7 +428,8 @@ def cmd_serve_sim(args) -> int:
         fill_fraction=args.fill,
     )
     stats, fs = simulate_service(
-        config, total_bytes=args.size, telemetry=telemetry
+        config, total_bytes=args.size, telemetry=telemetry,
+        recorder=recorder,
     )
     fs.unmount()
     print(stats.render(f"serve-sim clients={args.clients} seed={args.seed}"))
@@ -410,10 +443,51 @@ def cmd_serve_sim(args) -> int:
     if args.image:
         fs.disk.device.save(args.image)
         print(f"image -> {args.image}")
+    if recorder is not None:
+        count = recorder.write(args.record)
+        print(f"requests: {count} records -> {args.record}")
     if telemetry is not None:
         lines = export_jsonl(telemetry, args.telemetry)
         print(f"telemetry: {lines} records -> {args.telemetry}")
     return 1 if stats.dropped else 0
+
+
+def _parse_migration(text: str):
+    """``SRC:DST@T`` -> :class:`repro.cluster.MigrationSpec`."""
+    from repro.cluster import MigrationSpec
+
+    try:
+        pair, at = text.split("@", 1)
+        source, target = pair.split(":", 1)
+        return MigrationSpec(int(source), int(target), float(at))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad migration {text!r} (want SRC:DST@T, e.g. 2:0@0.05)"
+        ) from exc
+
+
+def cmd_cluster_sim(args) -> int:
+    from repro.cluster import ClusterConfig, run_cluster
+    from repro.obs import export_jsonl, render_report
+
+    config = ClusterConfig(
+        shards=args.shards,
+        clients=args.clients,
+        seed=args.seed,
+        requests_per_client=args.requests_per_client,
+        placement=args.placement,
+        migrations=tuple(args.migrate or ()),
+    )
+    result = run_cluster(
+        config, jobs=args.jobs, total_bytes=args.size
+    )
+    print(result.render())
+    if args.stats:
+        print(render_report(result.telemetry, title="cluster telemetry"))
+    if args.telemetry:
+        lines = export_jsonl(result.telemetry, args.telemetry)
+        print(f"telemetry: {lines} records -> {args.telemetry}")
+    return 0 if result.consistent else 1
 
 
 def cmd_trace(args) -> int:
@@ -461,16 +535,31 @@ def cmd_trace(args) -> int:
 def cmd_bench_diff(args) -> int:
     from repro.tools.bench_report import (
         diff_reports,
-        load_report,
+        diff_service_reports,
+        is_service_report,
+        load_any_report,
         render_diff,
+        render_service_diff,
     )
 
-    old = load_report(args.old)
-    new = load_report(args.new)
-    diff = diff_reports(
-        old, new, max_regression=args.max_regression / 100.0
-    )
-    print(render_diff(diff))
+    old = load_any_report(args.old)
+    new = load_any_report(args.new)
+    if is_service_report(old) != is_service_report(new):
+        print(
+            "error: cannot diff a hotpaths report against a service "
+            "report",
+            file=sys.stderr,
+        )
+        return 1
+    max_regression = args.max_regression / 100.0
+    if is_service_report(old):
+        diff = diff_service_reports(
+            old, new, max_regression=max_regression
+        )
+        print(render_service_diff(diff))
+    else:
+        diff = diff_reports(old, new, max_regression=max_regression)
+        print(render_diff(diff))
     return 1 if diff["regressions"] else 0
 
 
@@ -536,9 +625,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fig)
 
     p = sub.add_parser(
-        "stats", help="mount an image with telemetry on and report"
+        "stats",
+        help="mount an image with telemetry on and report, or merge "
+        "exported telemetry .jsonl streams and report",
     )
-    p.add_argument("image")
+    p.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="IMAGE | JSONL...",
+        help="one device image, or one or more exported telemetry "
+        ".jsonl streams to merge",
+    )
     p.add_argument(
         "--exercise",
         choices=("seq-read", "random-read"),
@@ -637,11 +734,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="save the post-run device image here",
     )
     p.add_argument(
+        "--record",
+        metavar="OUT.JSONL",
+        help="capture the client request stream (id, op, path, size, "
+        "issue time) as JSONL here",
+    )
+    p.add_argument(
         "--telemetry",
         metavar="OUT.JSONL",
         help="record service metrics/spans; write them as JSONL here",
     )
     p.set_defaults(func=cmd_serve_sim)
+
+    p = sub.add_parser(
+        "cluster-sim",
+        help="run the sharded scale-out simulation: a router over N "
+        "LFS volumes, optional live shard migration",
+    )
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--clients", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--requests-per-client", type=int, default=40)
+    p.add_argument(
+        "--placement",
+        choices=("hash", "prefix"),
+        default="hash",
+        help="client->shard placement policy (default hash ring)",
+    )
+    p.add_argument(
+        "--migrate",
+        type=_parse_migration,
+        action="append",
+        metavar="SRC:DST@T",
+        help="migrate shard SRC's clients onto shard DST starting T "
+        "simulated seconds into the run (repeatable)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the shard groups (output is "
+        "byte-identical for any value)",
+    )
+    p.add_argument("--size", type=_parse_size, default=64 * MIB)
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print the merged cluster telemetry report",
+    )
+    p.add_argument(
+        "--telemetry",
+        metavar="OUT.JSONL",
+        help="write the merged cluster metrics as JSONL here",
+    )
+    p.set_defaults(func=cmd_cluster_sim)
 
     p = sub.add_parser(
         "trace",
@@ -687,10 +833,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench-diff",
-        help="compare two perf-harness reports workload by workload",
+        help="compare two perf reports (hotpaths: workload by "
+        "workload; service/cluster: point by point)",
     )
-    p.add_argument("old", help="baseline BENCH_hotpaths.json")
-    p.add_argument("new", help="candidate BENCH_hotpaths.json")
+    p.add_argument(
+        "old", help="baseline BENCH_hotpaths.json / BENCH_service.json"
+    )
+    p.add_argument(
+        "new", help="candidate BENCH_hotpaths.json / BENCH_service.json"
+    )
     p.add_argument(
         "--max-regression",
         type=float,

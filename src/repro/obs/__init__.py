@@ -23,6 +23,7 @@ from repro.obs.export import (
     export_jsonl,
     format_fields,
     iter_records,
+    merge_jsonl_files,
     read_jsonl,
     render_report,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "METRIC_NAMES",
     "SPAN_KINDS",
     "export_jsonl",
+    "merge_jsonl_files",
     "read_jsonl",
     "iter_records",
     "render_report",

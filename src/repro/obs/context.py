@@ -10,6 +10,7 @@ to completion.  It owns the request's **root span** (kind
 ``cleaner_throttle`` cleaning the request stalled on (throttle passes
                     *and* cleaning that fired inside its execution)
 ``commit_wait``     fsync hold time until the group flush starts
+``migration_redirect`` parked while the client's shard was migrating
 ``disk``            synchronous disk stalls during execution
 ``fs``              file-system code time during execution
 ================== ====================================================
@@ -43,10 +44,16 @@ COMPONENTS = (
     "admission_retry",
     "cleaner_throttle",
     "commit_wait",
+    "migration_redirect",
     "disk",
     "fs",
 )
-"""Attribution component names, in report order."""
+"""Attribution component names, in report order.
+
+``migration_redirect`` is the cluster layer's contribution: time a
+request spent parked while its client's working set was being migrated
+between shards (see :mod:`repro.cluster.migrate`).  It stays zero in
+single-volume service runs."""
 
 
 class StallProbe:
@@ -218,13 +225,10 @@ class TraceContext:
         ``queueing`` is the exact residual, so the exported components
         sum to ``lat.total`` by construction (within float rounding).
         """
-        attributed = (
-            self.components["admission_retry"]
-            + self.components["cleaner_throttle"]
-            + self.components["commit_wait"]
-            + self.components["disk"]
-            + self.components["fs"]
-        )
+        attributed = 0.0
+        for name, seconds in self.components.items():
+            if name != "queueing":
+                attributed += seconds
         self.components["queueing"] = total - attributed
         for name in COMPONENTS:
             self.root.attrs[f"lat.{name}"] = self.components[name]

@@ -39,6 +39,7 @@ def iter_records(telemetry: Telemetry) -> Iterator[Dict[str, Any]]:
         "metric_names": registry.metric_names(),
         "span_kinds": tracer.span_kinds(),
         "span_kind_counts": dict(tracer.kind_counts),
+        "span_kind_seconds": dict(tracer.kind_seconds),
         "dropped_spans": tracer.dropped_spans,
         "dropped_label_sets": registry.dropped_label_sets,
     }
@@ -71,6 +72,55 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+def merge_jsonl_files(paths: Sequence[str]) -> Telemetry:
+    """Fold one or more exported JSONL streams into a fresh Telemetry.
+
+    This is how ``repro stats a.jsonl b.jsonl ...`` renders a cluster
+    run: each shard rig exports its own stream, and the merged registry
+    state is rebuilt here via :func:`repro.harness.parallel.
+    merge_metric_samples` — the same fold the parallel runner uses, so
+    the rendered report matches what a single-process run of the same
+    rigs would have recorded.  Span *event records* are per-rig detail
+    and are not merged; their per-kind count/seconds totals are (from
+    the trailing summary record, falling back to summing the span
+    records for streams written before the summary carried seconds).
+    """
+    from repro.harness.parallel import merge_metric_samples
+
+    merged = Telemetry()
+    for path in paths:
+        records = read_jsonl(path)
+        metrics = [
+            {key: value for key, value in record.items() if key != "type"}
+            for record in records
+            if record.get("type") == "metric"
+        ]
+        summary = next(
+            (r for r in records if r.get("type") == "summary"), {}
+        )
+        kind_seconds = summary.get("span_kind_seconds")
+        if kind_seconds is None:
+            kind_seconds = {}
+            for record in records:
+                if record.get("type") != "span":
+                    continue
+                end = record.get("end")
+                duration = (end or record["start"]) - record["start"]
+                kind = record["kind"]
+                kind_seconds[kind] = kind_seconds.get(kind, 0.0) + duration
+        merge_metric_samples(
+            merged,
+            {
+                "metrics": metrics,
+                "kind_counts": summary.get("span_kind_counts", {}),
+                "kind_seconds": kind_seconds,
+                "dropped_spans": summary.get("dropped_spans", 0),
+                "dropped_label_sets": summary.get("dropped_label_sets", 0),
+            },
+        )
+    return merged
 
 
 def format_fields(fields: Sequence[Tuple[str, Any]]) -> str:

@@ -67,6 +67,13 @@ METRIC_NAMES = frozenset(
         "fs.bytes_read",
         "fs.bytes_written",
         "fs.degraded",
+        # -- cluster layer (sharded scale-out front-end) ---------------------
+        "cluster.migrations",
+        "cluster.migrated_bytes",
+        "cluster.migrated_files",
+        "cluster.redirected_requests",
+        "cluster.routing_flips",
+        "cluster.shards",
         # -- chaos campaign --------------------------------------------------
         "chaos.contract_checks",
         "chaos.contract_violations",
@@ -107,6 +114,9 @@ SPAN_KINDS = frozenset(
         "cache.flush",
         "checkpoint.write",
         "cleaner.clean",
+        "cluster.cutover",
+        "cluster.migrate",
+        "cluster.migration_redirect",
         "cleaner.relocate_segment",
         "disk.read",
         "disk.write",

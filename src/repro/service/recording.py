@@ -1,0 +1,58 @@
+"""Request-stream recording for ``repro serve-sim --record``.
+
+A :class:`RequestRecorder` captures every client request the scheduler
+services as one JSON object per line — enough to replay or analyze the
+offered load outside the simulator:
+
+* ``rid`` — scheduler-issue sequence number (monotone per rig);
+* ``client`` — the issuing client id;
+* ``op`` — request kind (``write``/``read``/``open``/``delete``/
+  ``fsync``);
+* ``path`` — the file the request touched (``null`` for a request
+  abandoned on a degraded volume, where no path was ever resolved);
+* ``bytes`` — payload size: bytes written, bytes read back, 0 for
+  metadata-only ops;
+* ``t_issue`` — simulated arrival time (seconds).
+
+Records are buffered in memory and flushed with :meth:`write` so the
+file is written once, in deterministic order — the stream is a pure
+function of the seed, like everything else in a rig.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+
+class RequestRecorder:
+    """Collects one record per serviced request; writes JSONL."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def note(self, request, path: Optional[str], nbytes: int) -> None:
+        """Called by the scheduler once per request, when the target
+        path is known (at execution; at abandonment for dropped ones).
+        """
+        self.records.append(
+            {
+                "rid": request.rid,
+                "client": request.client_id,
+                "op": request.kind,
+                "path": path,
+                "bytes": nbytes,
+                "t_issue": request.arrival,
+            }
+        )
+
+    def write(self, path: str) -> int:
+        """Write the buffered stream as JSONL; returns the line count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                json.dump(record, handle, sort_keys=True)
+                handle.write("\n")
+        return len(self.records)
+
+
+__all__ = ["RequestRecorder"]

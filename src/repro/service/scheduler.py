@@ -31,7 +31,7 @@ from __future__ import annotations
 import math
 import random
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import MediaError, NoSpaceError, ReadOnlyFSError
 from repro.lfs.filesystem import LogStructuredFS
@@ -51,14 +51,17 @@ MAX_FILE_BYTES = 1 * MIB
 class Request:
     """One client request travelling through admission → execution."""
 
-    __slots__ = ("client_id", "kind", "arrival", "throttles", "ctx")
+    __slots__ = ("client_id", "kind", "arrival", "throttles", "ctx", "rid")
 
-    def __init__(self, client_id: int, kind: str, arrival: float) -> None:
+    def __init__(
+        self, client_id: int, kind: str, arrival: float, rid: int = 0
+    ) -> None:
         self.client_id = client_id
         self.kind = kind
         self.arrival = arrival
         self.throttles = 0
         self.ctx = NULL_TRACE_CONTEXT
+        self.rid = rid
 
 
 class ClientStream:
@@ -74,6 +77,7 @@ class ClientStream:
         self.name_counter = 0
         self.issued = 0
         self.completed = 0
+        self.inflight = 0
         self._kinds = list(config.mix.keys())
         self._weights = [config.mix[kind] for kind in self._kinds]
 
@@ -127,13 +131,19 @@ class RequestScheduler:
         telemetry: Optional[Telemetry] = None,
         clients: Optional[List[ClientStream]] = None,
         ledger=None,
+        ready: Optional[Deque[Callable[[], None]]] = None,
+        recorder=None,
     ) -> None:
         """``clients`` resumes existing streams (rng, issued/completed
         counts and working sets intact) against ``fs`` — the chaos
         campaign uses this to continue surviving clients on a recovered
         image.  ``ledger`` is an optional durability-contract recorder
         (see :class:`repro.faults.chaos.DurabilityLedger`) notified of
-        every mutation and every client-visible fsync ack."""
+        every mutation and every client-visible fsync ack.  ``ready``
+        lets several schedulers on one clock share a single event queue
+        (a cluster migration group drives a source and a target shard in
+        one loop); ``recorder`` is an optional request-stream recorder
+        (see :class:`repro.service.recording.RequestRecorder`)."""
         self.fs = fs
         self.clock = fs.clock
         self.config = config
@@ -141,6 +151,7 @@ class RequestScheduler:
         self.telemetry = telemetry or NULL_TELEMETRY
         self.tracing = RequestTracer(self.telemetry, fs)
         self.ledger = ledger
+        self.recorder = recorder
         self.admission = AdmissionController(
             fs, config, self.stats, telemetry=self.telemetry
         )
@@ -154,17 +165,32 @@ class RequestScheduler:
             if clients is not None
             else [ClientStream(i, config) for i in range(config.num_clients)]
         )
+        self._clients_by_id = {
+            client.client_id: client for client in self.clients
+        }
         for client in self.clients:
             # On a resumed rig the directory usually already exists (and
             # a degraded volume could not create it anyway).
             if not fs.degraded and not fs.exists(client.directory):
                 fs.mkdir(client.directory)
-        self._ready: Deque[Callable[[], None]] = deque()
+        self._ready: Deque[Callable[[], None]] = (
+            ready if ready is not None else deque()
+        )
         self._active_clients = sum(
             1
             for client in self.clients
             if client.issued < config.requests_per_client
         )
+        # Cluster-migration state: frozen clients park their next
+        # request instead of executing; departed clients forward late
+        # ticks to the scheduler that adopted them.
+        self._frozen: set = set()
+        self._parked: List[Tuple[Request, float]] = []
+        self._migrated: Dict[int, "RequestScheduler"] = {}
+        self._flusher_live = False
+        self._next_rid = 0
+        self._run_span_cm = None
+        self._run_span = None
         obs = self.telemetry
         self._m_requests = {
             kind: obs.counter("service.requests", kind=kind)
@@ -197,41 +223,76 @@ class RequestScheduler:
     # The run loop
     # ------------------------------------------------------------------
 
-    def run(self) -> ServiceStats:
+    def start(self, open_run_span: bool = True) -> None:
+        """Post the initial client ticks and the background flusher.
+
+        ``run`` calls this and then drains the queue itself; a cluster
+        group driver calls it for every member scheduler and runs one
+        combined loop over the shared ready queue (passing
+        ``open_run_span=False`` — member spans would nest arbitrarily
+        on the shared tracer stack)."""
         self.stats.started = self.clock.now()
-        with self.telemetry.span(
-            "service.run", clients=self.config.num_clients
-        ) as span:
-            for client in self.clients:
-                if client.issued >= self.config.requests_per_client:
-                    continue  # resumed stream that already finished
-                self._post_at(
-                    self.clock.now() + client.think(),
-                    lambda client=client: self._tick(client),
-                )
-            self._post_at(
-                self.clock.now() + self.config.flusher_period,
-                self._background_flush,
+        if open_run_span:
+            self._run_span_cm = self.telemetry.span(
+                "service.run", clients=self.config.num_clients
             )
-            while self._ready or self.clock.pending_timers():
-                if self._ready:
-                    self._ready.popleft()()
-                    continue
-                next_at = self.clock.next_timer_at()
-                assert next_at is not None
-                self.clock.advance_to(next_at)
-            span.set_attr("completed", self.stats.completed)
+            self._run_span = self._run_span_cm.__enter__()
+        for client in self.clients:
+            if client.issued >= self.config.requests_per_client:
+                continue  # resumed stream that already finished
+            self._post_at(
+                self.clock.now() + client.think(),
+                lambda client=client: self._tick(client),
+            )
+        self._arm_flusher()
+
+    def finish(self) -> ServiceStats:
+        """Close the run span and stamp the finish time."""
+        if self._run_span_cm is not None:
+            self._run_span.set_attr("completed", self.stats.completed)
+            self._run_span_cm.__exit__(None, None, None)
+            self._run_span_cm = None
+            self._run_span = None
         self.stats.finished = self.clock.now()
         return self.stats
+
+    def run(self) -> ServiceStats:
+        self.start()
+        while self._ready or self.clock.pending_timers():
+            if self._ready:
+                self._ready.popleft()()
+                continue
+            next_at = self.clock.next_timer_at()
+            assert next_at is not None
+            self.clock.advance_to(next_at)
+        return self.finish()
 
     # ------------------------------------------------------------------
     # Client lifecycle
     # ------------------------------------------------------------------
 
     def _tick(self, client: ClientStream) -> None:
+        owner = self._migrated.get(client.client_id)
+        if owner is not None:
+            # A tick scheduled before the cutover fired after it: the
+            # client now lives on another shard; hand the tick over
+            # (same clock, same shared ready queue — only the serving
+            # file system changes).
+            owner._tick(client)
+            return
         kind = client.next_kind()
         client.issued += 1
-        request = Request(client.client_id, kind, self.clock.now())
+        request = Request(
+            client.client_id, kind, self.clock.now(), rid=self._next_rid
+        )
+        self._next_rid += 1
+        if client.client_id in self._frozen:
+            # The client's shard is mid-migration: park the request.
+            # It is adopted (and its redirect wait charged) by the
+            # target scheduler at the cutover barrier.
+            self._parked.append((request, self.clock.now()))
+            return
+        client.inflight += 1
         request.ctx = self.tracing.context(client.client_id, kind)
         self.stats.note_submitted(kind)
         self._m_requests[kind].inc()
@@ -271,7 +332,10 @@ class RequestScheduler:
         served).
         """
         client = self._client(request)
+        client.inflight -= 1
         request.ctx.finish(self.clock.now() - request.arrival)
+        if self.recorder is not None:
+            self.recorder.note(request, None, 0)
         if client.issued < self.config.requests_per_client:
             self._post_at(
                 self.clock.now() + client.think(),
@@ -281,14 +345,18 @@ class RequestScheduler:
             self._active_clients -= 1
 
     def _client(self, request: Request) -> ClientStream:
-        return self.clients[request.client_id]
+        return self._clients_by_id[request.client_id]
 
     def _execute(self, request: Request) -> None:
         client = self._client(request)
         request.ctx.activate()
+        path: Optional[str] = None
+        nbytes = 0
         try:
             if request.kind == "fsync":
                 handle = self.fs.open(client.last_written)
+                if self.recorder is not None:
+                    self.recorder.note(request, handle.path, 0)
                 request.ctx.deactivate()
                 request.ctx.begin_wait("service.commit_wait", "commit_wait")
                 self.committer.request_commit(
@@ -299,12 +367,14 @@ class RequestScheduler:
                 )
                 return  # completes when the commit window closes
             if request.kind == "write":
-                self._do_write(client)
+                path, nbytes = self._do_write(client)
             elif request.kind == "read":
-                with self.fs.open(client.pick_file()) as handle:
-                    handle.read()
+                path = client.pick_file()
+                with self.fs.open(path) as handle:
+                    nbytes = len(handle.read())
             elif request.kind == "open":
-                self.fs.open(client.pick_file()).close()
+                path = client.pick_file()
+                self.fs.open(path).close()
             elif request.kind == "delete":
                 path = client.pick_file()
                 try:
@@ -336,9 +406,11 @@ class RequestScheduler:
             # is detection, not a scheduler failure.  The request is
             # dropped and the damage shows up in the fault counters.
             self.stats.dropped += 1
+        if self.recorder is not None:
+            self.recorder.note(request, path, nbytes)
         self._complete(request)
 
-    def _do_write(self, client: ClientStream) -> None:
+    def _do_write(self, client: ClientStream) -> Tuple[str, int]:
         # Ledger notes are taken in ``finally`` blocks on purpose: the
         # whole mutation enters the cache before any write-back runs, so
         # every exception that can escape these calls (NoSpaceError from
@@ -373,6 +445,7 @@ class RequestScheduler:
                     if self.ledger is not None:
                         self.ledger.note_write(path, offset, data)
         client.last_written = path
+        return path, len(data)
 
     def _finish_fsync(self, request: Request, handle) -> None:
         request.ctx.activate()
@@ -400,6 +473,7 @@ class RequestScheduler:
         self.admission.release()
         client = self._client(request)
         client.completed += 1
+        client.inflight -= 1
         latency = self.clock.now() - request.arrival
         request.ctx.deactivate()
         request.ctx.finish(latency)
@@ -426,7 +500,8 @@ class RequestScheduler:
         :meth:`~repro.cache.writeback.WritebackMonitor.
         next_age_deadline`, like the kernel's delayed-write flusher.
         It stops rescheduling once every client has finished, which is
-        what lets the run loop terminate.
+        what lets the run loop terminate (a later ``adopt_client`` on an
+        idle shard re-arms it).
         """
         deadline = self.fs.monitor.next_age_deadline()
         if deadline is not None and deadline <= self.clock.now():
@@ -440,6 +515,86 @@ class RequestScheduler:
                 self.clock.now() + self.config.flusher_period,
                 self._background_flush,
             )
+        else:
+            self._flusher_live = False
+
+    def _arm_flusher(self) -> None:
+        self._flusher_live = True
+        self._post_at(
+            self.clock.now() + self.config.flusher_period,
+            self._background_flush,
+        )
+
+    # ------------------------------------------------------------------
+    # Cluster-migration hooks (see repro.cluster.migrate)
+    # ------------------------------------------------------------------
+
+    def freeze_client(self, client_id: int) -> None:
+        """Stop executing ``client_id``'s new requests; park them.
+
+        The client's already-submitted requests keep running — the
+        migrator waits for :meth:`client_inflight` to drain before
+        copying, so the source image is quiescent for this client."""
+        self._frozen.add(client_id)
+
+    def client_inflight(self, client_id: int) -> int:
+        return self._clients_by_id[client_id].inflight
+
+    def release_client(
+        self, client_id: int, target: "RequestScheduler"
+    ) -> Tuple[ClientStream, List[Tuple[Request, float]]]:
+        """Hand a frozen, quiesced client over to ``target``.
+
+        Returns the stream plus its parked ``(request, parked_at)``
+        entries.  Late ticks still scheduled against this scheduler are
+        forwarded to ``target`` when they fire (``_tick``'s first
+        check), so no request is lost across the cutover."""
+        client = self._clients_by_id.pop(client_id)
+        self.clients.remove(client)
+        self._frozen.discard(client_id)
+        self._migrated[client_id] = target
+        parked = [
+            entry for entry in self._parked if entry[0].client_id == client_id
+        ]
+        self._parked = [
+            entry for entry in self._parked if entry[0].client_id != client_id
+        ]
+        if client.issued < self.config.requests_per_client or parked:
+            # Still mid-stream from this scheduler's point of view: its
+            # completion path will never fire here, so account for the
+            # departure now (this is what lets the source's flusher and
+            # run loop wind down).
+            self._active_clients -= 1
+        return client, parked
+
+    def adopt_client(
+        self,
+        client: ClientStream,
+        parked: List[Tuple[Request, float]],
+    ) -> None:
+        """Continue a migrated stream on this scheduler.
+
+        Parked requests are resubmitted with their original arrival
+        timestamps; the wait since they parked is charged to the
+        ``migration_redirect`` latency component, so the cutover stall
+        is visible in the attribution report rather than smeared into
+        queueing."""
+        self.clients.append(client)
+        self._clients_by_id[client.client_id] = client
+        if not self.fs.degraded and not self.fs.exists(client.directory):
+            self.fs.mkdir(client.directory)
+        if client.issued < self.config.requests_per_client or parked:
+            self._active_clients += 1
+            if not self._flusher_live:
+                self._arm_flusher()
+        now = self.clock.now()
+        for request, parked_at in parked:
+            request.ctx = self.tracing.context(client.client_id, request.kind)
+            request.ctx.charge("migration_redirect", now - parked_at)
+            self.stats.note_submitted(request.kind)
+            self._m_requests[request.kind].inc()
+            client.inflight += 1
+            self._enqueue(lambda request=request: self._submit(request))
 
 
 # ----------------------------------------------------------------------
@@ -490,10 +645,13 @@ def run_service(
     fs: LogStructuredFS,
     config: ServiceConfig,
     telemetry: Optional[Telemetry] = None,
+    recorder=None,
 ) -> Tuple[ServiceStats, RequestScheduler]:
     """Pre-fill (if configured) and run the full service simulation."""
     prefill(fs, config)
-    scheduler = RequestScheduler(fs, config, telemetry=telemetry)
+    scheduler = RequestScheduler(
+        fs, config, telemetry=telemetry, recorder=recorder
+    )
     stats = scheduler.run()
     return stats, scheduler
 
@@ -503,6 +661,7 @@ def simulate_service(
     total_bytes: int = 64 * MIB,
     lfs_config=None,
     telemetry: Optional[Telemetry] = None,
+    recorder=None,
 ) -> Tuple[ServiceStats, LogStructuredFS]:
     """Build a fresh rig, serve ``config``, checkpoint, and return it.
 
@@ -525,7 +684,9 @@ def simulate_service(
     fs = make_lfs(
         total_bytes=total_bytes, config=lfs_config, telemetry=telemetry
     )
-    stats, _scheduler = run_service(fs, config, telemetry=telemetry)
+    stats, _scheduler = run_service(
+        fs, config, telemetry=telemetry, recorder=recorder
+    )
     fs.checkpoint()
     fs.disk.drain()
     return stats, fs

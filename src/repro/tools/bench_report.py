@@ -221,6 +221,139 @@ def render_diff(diff: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def is_service_report(report: Dict[str, Any]) -> bool:
+    """True for ``BENCH_service.json``-shaped reports (the service
+    scaling sweep, optionally carrying a ``cluster`` section)."""
+    return report.get("benchmark") == "service_scaling"
+
+
+def load_any_report(path: str) -> Dict[str, Any]:
+    """Load either report family ``repro bench-diff`` understands.
+
+    ``BENCH_hotpaths.json`` carries a ``schema`` version and goes
+    through :func:`load_report`; ``BENCH_service.json`` is recognized
+    by its ``benchmark`` tag (its numbers are simulated time — a pure
+    function of the seed — so it needs no schema negotiation).
+    """
+    with open(path) as handle:
+        report = json.load(handle)
+    if is_service_report(report):
+        return report
+    if report.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported bench report schema {report.get('schema')!r} "
+            f"in {path!r}"
+        )
+    return report
+
+
+def _service_points(report: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Flatten a service report into ``label -> point`` rows: the
+    single-volume curve plus any cluster sweep points."""
+    points: Dict[str, Dict[str, Any]] = {}
+    for row in report.get("points", []):
+        points[f"service c{row['clients']}"] = row
+    for row in report.get("cluster", {}).get("points", []):
+        points[f"cluster {row['shards']}x{row['clients']}"] = row
+    return points
+
+
+def diff_service_reports(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    max_regression: float = 0.03,
+) -> Dict[str, Any]:
+    """Point-by-point comparison of two service scaling reports.
+
+    The simulated numbers are deterministic, so the tolerance here
+    guards against *behavioral* drift, not machine noise: a point
+    regresses if its throughput fell by more than ``max_regression``
+    or its p99 latency grew by more than the same fraction.  Seed
+    mismatches make the reports incomparable.
+    """
+    result: Dict[str, Any] = {
+        "kind": "service",
+        "max_regression": max_regression,
+        "comparable": old.get("seed") == new.get("seed"),
+        "old_seed": old.get("seed"),
+        "new_seed": new.get("seed"),
+        "points": {},
+        "regressions": [],
+        "only_old": [],
+        "only_new": [],
+    }
+    old_points = _service_points(old)
+    new_points = _service_points(new)
+    result["only_old"] = sorted(set(old_points) - set(new_points))
+    result["only_new"] = sorted(set(new_points) - set(old_points))
+    if not result["comparable"]:
+        result["regressions"].append(
+            f"seed mismatch: {old.get('seed')!r} vs {new.get('seed')!r} "
+            f"(reports are not comparable)"
+        )
+        return result
+    for label in sorted(set(old_points) & set(new_points)):
+        old_row, new_row = old_points[label], new_points[label]
+        old_tput = old_row.get("throughput_per_second", 0.0)
+        new_tput = new_row.get("throughput_per_second", 0.0)
+        old_p99 = old_row.get("latency_p99_seconds", 0.0)
+        new_p99 = new_row.get("latency_p99_seconds", 0.0)
+        slower = old_tput > 0 and new_tput < old_tput * (
+            1.0 - max_regression
+        )
+        laggier = old_p99 > 0 and new_p99 > old_p99 * (
+            1.0 + max_regression
+        )
+        entry = {
+            "old_throughput": old_tput,
+            "new_throughput": new_tput,
+            "old_p99_seconds": old_p99,
+            "new_p99_seconds": new_p99,
+            "regressed": slower or laggier,
+        }
+        result["points"][label] = entry
+        if slower:
+            result["regressions"].append(
+                f"{label}: throughput {old_tput:.1f} -> {new_tput:.1f} "
+                f"req/s (limit -{max_regression:.0%})"
+            )
+        if laggier:
+            result["regressions"].append(
+                f"{label}: p99 {old_p99 * 1000:.3f}ms -> "
+                f"{new_p99 * 1000:.3f}ms (limit +{max_regression:.0%})"
+            )
+    return result
+
+
+def render_service_diff(diff: Dict[str, Any]) -> str:
+    """Terminal rendering of a :func:`diff_service_reports` result."""
+    lines = [
+        f"service bench diff — max regression "
+        f"{diff['max_regression']:.1%} "
+        f"(seeds: {diff['old_seed']} vs {diff['new_seed']})",
+        f"{'point':<24} {'old req/s':>10} {'new req/s':>10} "
+        f"{'old p99 ms':>11} {'new p99 ms':>11}",
+    ]
+    for label, entry in diff["points"].items():
+        flag = "  REGRESSED" if entry["regressed"] else ""
+        lines.append(
+            f"{label:<24} {entry['old_throughput']:>10.1f} "
+            f"{entry['new_throughput']:>10.1f} "
+            f"{entry['old_p99_seconds'] * 1000:>11.3f} "
+            f"{entry['new_p99_seconds'] * 1000:>11.3f}{flag}"
+        )
+    for label in diff["only_old"]:
+        lines.append(f"{label:<24} (only in old report)")
+    for label in diff["only_new"]:
+        lines.append(f"{label:<24} (only in new report)")
+    if diff["regressions"]:
+        lines.append(f"{len(diff['regressions'])} regression(s):")
+        lines.extend(f"  {item}" for item in diff["regressions"])
+    else:
+        lines.append("no regressions")
+    return "\n".join(lines)
+
+
 def summarize(report: Dict[str, Any]) -> str:
     """Render the report as a terminal table."""
     lines = [

@@ -4,7 +4,7 @@ that bypass the telemetry registry with bare ``print`` (OBS001) or
 emit metric/span names missing from the registered vocabulary
 (OBS002), broad ``except`` clauses in the crash-recovery modules
 (FAULT001) and in the crash-under-load chaos/scheduler modules
-(FAULT002), wall-clock calls in the simulated-time service layer
+(FAULT002), wall-clock calls in the simulated-time service and cluster layers
 (SVC001), and buffer copies on the zero-copy data path (ALLOC001).
 
 The container this project builds in has no third-party linter, so this
@@ -341,22 +341,24 @@ def _check_chaos_broad_except(
             )
 
 
-_SERVICE_DIR = "repro/service/"
+_SERVICE_DIRS = ("repro/service/", "repro/cluster/")
 _WALL_CLOCK_ATTRS = ("time", "sleep", "monotonic", "perf_counter")
 """Wall-clock entry points of the ``time`` module.
 
-The service layer is simulated-time only: every delay is a timer on the
-shared :class:`~repro.sim.clock.SimClock`, which is what makes runs
-seed-deterministic and byte-identical across hosts.  One stray
-``time.time()`` in a latency calculation or ``time.sleep()`` in a
-backoff silently breaks both, so SVC001 bans them outright."""
+The service and cluster layers are simulated-time only: every delay is
+a timer on the shared :class:`~repro.sim.clock.SimClock`, which is what
+makes runs seed-deterministic and byte-identical across hosts (and
+across ``--jobs`` values — a cluster shard group must replay the same
+on any worker).  One stray ``time.time()`` in a latency calculation or
+``time.sleep()`` in a backoff silently breaks both, so SVC001 bans
+them outright."""
 
 
 def _check_service_wall_clock(
     path: str, tree: ast.Module, noqa: Set[int]
 ) -> Iterator[Tuple[str, int, str]]:
     normalized = path.replace(os.sep, "/")
-    if _SERVICE_DIR not in normalized:
+    if not any(part in normalized for part in _SERVICE_DIRS):
         return
     for node in ast.walk(tree):
         finding = None

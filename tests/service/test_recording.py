@@ -1,0 +1,49 @@
+"""Request-stream recording (``serve-sim --record``)."""
+
+import json
+
+from repro.service import ServiceConfig, simulate_service
+from repro.service.recording import RequestRecorder
+from repro.units import MIB
+
+
+def _run(recorder, seed=0):
+    config = ServiceConfig(
+        num_clients=3, seed=seed, requests_per_client=10
+    )
+    stats, fs = simulate_service(
+        config, total_bytes=32 * MIB, recorder=recorder
+    )
+    fs.unmount()
+    return stats
+
+
+def test_recorder_captures_every_request(tmp_path):
+    recorder = RequestRecorder()
+    stats = _run(recorder)
+    assert len(recorder.records) == stats.completed + stats.dropped
+    out = tmp_path / "requests.jsonl"
+    count = recorder.write(str(out))
+    assert count == len(recorder.records)
+    lines = out.read_text().splitlines()
+    assert len(lines) == count
+    rids = []
+    for line in lines:
+        record = json.loads(line)
+        assert set(record) == {
+            "rid", "client", "op", "path", "bytes", "t_issue"
+        }
+        assert record["op"] in ("write", "read", "open", "delete", "fsync")
+        assert record["t_issue"] >= 0
+        if record["op"] == "write":
+            assert record["path"].startswith("/c")
+            assert record["bytes"] > 0
+        rids.append(record["rid"])
+    assert len(set(rids)) == len(rids)  # rids are unique
+
+
+def test_recorded_stream_is_deterministic():
+    first, second = RequestRecorder(), RequestRecorder()
+    _run(first, seed=5)
+    _run(second, seed=5)
+    assert first.records == second.records

@@ -187,6 +187,11 @@ class TestServiceWallClock:
         path = write_module(tmp_path, "repro/service/ext.py", source)
         assert any("SVC001" in m for _, _, m in lint_file(path))
 
+    def test_flags_wall_clock_in_cluster_layer(self, tmp_path):
+        source = "import time\n\ndef now():\n    return time.time()\n"
+        path = write_module(tmp_path, "repro/cluster/ext.py", source)
+        assert any("SVC001" in m for _, _, m in lint_file(path))
+
     def test_ignores_wall_clock_outside_service(self, tmp_path):
         source = "import time\n\ndef now():\n    return time.time()\n"
         path = write_module(tmp_path, "repro/harness/ext.py", source)
